@@ -1,0 +1,95 @@
+// Command ds2json exports a d/stream file to JSON lines, one object per
+// element, given the payload schema the writing application used — the §2
+// tool-communication task for consumers that speak JSON rather than Go.
+//
+// The schema transliterates the element type's StreamInsert body (see
+// internal/dschema). For the SCF Segment, for example:
+//
+//	ds2json -schema 'n:i64,x:f64[],y:f64[],z:f64[],vx:f64[],vy:f64[],vz:f64[],mass:f64[]' scf.ck.0
+//
+// Each output line is {"record":R,"global":G,"fields":{...}}. Elements
+// appear in file (node-block) order; the "global" index comes from the
+// distribution descriptor stored in the record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pcxxstreams/internal/dschema"
+	"pcxxstreams/internal/dsinfo"
+)
+
+func main() {
+	var (
+		schemaStr = flag.String("schema", "", "payload schema (required); see internal/dschema")
+		record    = flag.Int("record", -1, "export only this record (default: all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *schemaStr == "" {
+		fmt.Fprintln(os.Stderr, "usage: ds2json -schema 'name:type,...;...' file")
+		os.Exit(2)
+	}
+	schema, err := dschema.Parse(*schemaStr)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	info, err := dsinfo.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	type line struct {
+		Record int            `json:"record"`
+		Global int            `json:"global"`
+		Fields map[string]any `json:"fields"`
+	}
+
+	for ri := range info.Records {
+		rec := &info.Records[ri]
+		if *record >= 0 && rec.Index != *record {
+			continue
+		}
+		if int(rec.Header.NArrays) != schema.NArrays() {
+			fatal(fmt.Errorf("record %d has %d interleaved arrays but the schema describes %d",
+				rec.Index, rec.Header.NArrays, schema.NArrays()))
+		}
+		// Map file position → global index through the stored distribution.
+		pos := 0
+		for rank := 0; rank < rec.Dist.NProcs; rank++ {
+			for local := 0; local < rec.Dist.LocalCount(rank); local++ {
+				off, n, err := rec.ElementRange(pos)
+				if err != nil {
+					fatal(err)
+				}
+				fields, err := schema.DecodeElement(data[off : off+int64(n)])
+				if err != nil {
+					fatal(fmt.Errorf("record %d element %d: %w", rec.Index, pos, err))
+				}
+				if err := enc.Encode(line{
+					Record: rec.Index,
+					Global: rec.Dist.GlobalIndex(rank, local),
+					Fields: fields,
+				}); err != nil {
+					fatal(err)
+				}
+				pos++
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ds2json:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command dsdump inspects a d/stream file: the file header, every record's
+// distribution descriptor (the §4.1 "paperwork" the library stores so input
+// needs nothing from the programmer), and per-element size statistics.
+//
+// Usage:
+//
+//	dsdump [-sizes] [-max N] file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcxxstreams/internal/dsinfo"
+)
+
+func main() {
+	var (
+		dumpSizes = flag.Bool("sizes", false, "dump the full per-element size table of every record")
+		maxRecs   = flag.Int("max", 0, "print at most N records (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dsdump [-sizes] [-max N] file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	info, err := dsinfo.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: d/stream file, %d bytes\n", flag.Arg(0), info.Bytes)
+
+	for i := range info.Records {
+		if *maxRecs > 0 && i >= *maxRecs {
+			fmt.Printf("... %d further record(s) suppressed (-max)\n", len(info.Records)-i)
+			break
+		}
+		rec := &info.Records[i]
+		fmt.Printf("\nrecord %d @ %d:\n", rec.Index, rec.Offset)
+		fmt.Printf("  arrays interleaved : %d\n", rec.Header.NArrays)
+		fmt.Printf("  writer distribution: %v\n", rec.Dist)
+		fmt.Printf("  elements           : %d (sizes min %d / max %d / total %d bytes)\n",
+			rec.Header.NElems, rec.MinSize(), rec.MaxSize(), rec.TotalBytes())
+		fmt.Printf("  data section       : [%d, %d)\n", rec.DataOffset, rec.DataOffset+int64(rec.Header.DataBytes))
+		fmt.Printf("  per-node blocks    :")
+		for r := 0; r < rec.Dist.NProcs; r++ {
+			fmt.Printf(" n%d=%d", r, rec.Dist.LocalCount(r))
+		}
+		fmt.Println(" elements")
+		if *dumpSizes {
+			for j, s := range rec.Sizes {
+				fmt.Printf("    elem[%d] = %d bytes\n", j, s)
+			}
+		}
+	}
+	fmt.Printf("\n%d record(s), no trailing bytes\n", len(info.Records))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsdump:", err)
+	os.Exit(1)
+}

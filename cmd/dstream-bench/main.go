@@ -1,0 +1,195 @@
+// Command dstream-bench regenerates the tables of the paper's evaluation
+// (PPoPP '95, §4.3, Figure 5) on the simulated platforms and prints them
+// side by side with the published numbers, and optionally runs the ablation
+// experiments from DESIGN.md.
+//
+// Usage:
+//
+//	dstream-bench -all            # regenerate Tables 1-4
+//	dstream-bench -table 2        # one table
+//	dstream-bench -ablations     # the design-choice ablations
+//	dstream-bench -all -verify   # also verify data integrity per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcxxstreams/internal/bench"
+	"pcxxstreams/internal/trace"
+	"pcxxstreams/internal/vtime"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate one table (1-4)")
+		all       = flag.Bool("all", false, "regenerate every table")
+		ablations = flag.Bool("ablations", false, "run the ablation experiments")
+		stats     = flag.Bool("stats", false, "print the per-variant I/O operation profile")
+		traceOut  = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
+		variant   = flag.String("variant", "streams", "variant for -trace/-gantt: unbuffered|manual|streams")
+		platforms = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
+		scaling   = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
+		verify    = flag.Bool("verify", false, "verify data integrity after every input phase")
+		check     = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling && *traceOut == "" && !*gantt {
+		*all = true
+	}
+
+	if *traceOut != "" || *gantt {
+		v := map[string]bench.Variant{
+			"unbuffered": bench.Unbuffered, "manual": bench.ManualBuf, "streams": bench.Streams,
+		}[*variant]
+		rec := trace.New()
+		if _, err := bench.Seconds(bench.Run{
+			Profile: vtime.Paragon(), NProcs: 4, Segments: 256, Variant: v, Trace: rec,
+		}); err != nil {
+			fatal(err)
+		}
+		if *gantt {
+			fmt.Printf("Timeline of %q on paragon, 4 procs, 256 segments:\n", *variant)
+			if err := rec.WriteGantt(os.Stdout, 100); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteChromeJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dstream-bench: wrote %s (%d events) — open in chrome://tracing\n",
+				*traceOut, rec.Len())
+		}
+	}
+
+	if *all || *table != 0 {
+		specs := bench.Tables()
+		if *table != 0 {
+			spec, err := bench.TableByID(*table)
+			if err != nil {
+				fatal(err)
+			}
+			specs = []bench.TableSpec{spec}
+		}
+		for _, spec := range specs {
+			res, err := bench.RunTable(spec, *verify)
+			if err != nil {
+				fatal(err)
+			}
+			res.Format(os.Stdout)
+			if *check {
+				if err := res.CheckShape(); err != nil {
+					fatal(fmt.Errorf("shape criteria violated: %w", err))
+				}
+				fmt.Printf("shape criteria: OK (ordering, monotone %%-of-manual%s)\n\n",
+					map[bool]string{true: ", paragon cache cliff", false: ""}[spec.Platform == "paragon"])
+			}
+		}
+	}
+
+	if *ablations {
+		runAblations()
+	}
+
+	if *stats {
+		if err := bench.OpProfile(os.Stdout, vtime.Paragon(), 4, 512); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *platforms {
+		results, err := bench.RunPlatformSweep(4, 512)
+		if err != nil {
+			fatal(err)
+		}
+		bench.FormatPlatformSweep(os.Stdout, results)
+	}
+
+	if *scaling {
+		prof := vtime.Challenge()
+		procCounts := []int{1, 2, 4, 8, 16, 32, 64}
+		pts, err := bench.RunScalingSweep(prof, 2048, procCounts)
+		if err != nil {
+			fatal(err)
+		}
+		bench.FormatScalingSweep(os.Stdout, prof, 2048, pts)
+	}
+}
+
+func runAblations() {
+	paragon := vtime.Paragon()
+	fmt.Println("Ablation experiments (virtual seconds, paragon profile unless noted)")
+	fmt.Println("---------------------------------------------------------------------")
+
+	sorted, unsorted, err := bench.AblationSortedVsUnsorted(paragon, 4, 512)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("read vs unsortedRead (512 segs, changed distribution):\n")
+	fmt.Printf("  sorted read  %8.3f s\n  unsortedRead %8.3f s   (%.1f%% of sorted — §3's communication saving)\n\n",
+		sorted, unsorted, 100*unsorted/sorted)
+
+	for _, segs := range []int{64, 8192} {
+		funnel, parallel, err := bench.AblationMetadataPath(paragon, 8, segs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metadata path (%d segments, 8 procs): funnel %.3f s, parallel %.3f s → %s wins\n",
+			segs, funnel, parallel, map[bool]string{true: "funnel", false: "parallel"}[funnel <= parallel])
+	}
+	fmt.Println()
+
+	inter, sep, err := bench.AblationInterleave(paragon, 4, 256)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("interleaving (5 field arrays, 256 segs): one record %.3f s, five records %.3f s\n\n", inter, sep)
+
+	fmt.Println("flush granularity (512 segs total):")
+	for _, records := range []int{1, 4, 16} {
+		secs, err := bench.AblationFlushGranularity(paragon, 4, 512, records)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %2d flush(es): %8.3f s\n", records, secs)
+	}
+	fmt.Println()
+
+	same, changed, err := bench.AblationRedistribute(paragon, 512)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("restart (512 segs): same layout %.3f s, changed procs+distribution %.3f s (two-phase read cost)\n\n",
+		same, changed)
+
+	syncT, asyncT, err := bench.AblationAsyncOverlap(paragon, 4, 512, 4, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("async write-behind (4 rounds of 0.5 s compute + checkpoint): sync %.3f s, async %.3f s (overlap saves %.3f s)\n\n",
+		syncT, asyncT, syncT-asyncT)
+
+	chanS, tcpS, err := bench.AblationTransport(vtime.Challenge(), 4, 128)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("transport (challenge profile): chan %.6f vs tcp %.6f virtual s — identical=%v\n",
+		chanS, tcpS, chanS == tcpS)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dstream-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module pcxxstreams
+
+go 1.24

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pcxxstreams/internal/collective"
+	"pcxxstreams/internal/vtime"
+)
+
+// OpProfile regenerates the operation-count story behind one table column:
+// for each variant, the number and kind of I/O calls issued. This is the
+// mechanism behind the paper's results — "buffering reduces total I/O
+// latency time" because it replaces thousands of small calls with a few
+// parallel ones.
+func OpProfile(w io.Writer, prof vtime.Profile, nprocs, segments int) error {
+	fmt.Fprintf(w, "I/O operation profile — %s, %d procs, %d segments (output+input):\n",
+		prof.Name, nprocs, segments)
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %10s %10s %12s %12s\n",
+		"variant", "opens", "smallW", "smallR", "parW", "parR", "bytesW", "bytesR")
+	for _, v := range []Variant{Unbuffered, ManualBuf, Streams} {
+		m, err := Measure(Run{Profile: prof, NProcs: nprocs, Segments: segments, Variant: v})
+		if err != nil {
+			return err
+		}
+		io := m.IO
+		fmt.Fprintf(w, "%-20s %10d %10d %10d %10d %10d %12d %12d\n",
+			v, io.Opens, io.IndependentWrites, io.IndependentReads,
+			io.ParallelAppends, io.ParallelReads, io.BytesWritten, io.BytesRead)
+	}
+	return nil
+}
+
+// PlatformSweep runs the streams variant of the SCF benchmark on every
+// platform profile — including the CM-5, which the paper reports the
+// library ran on but could not time ("CMMD timers do not account for I/O").
+// The virtual-time machinery has no such limitation, so the sweep supplies
+// the CM-5 column the paper could not.
+type PlatformResult struct {
+	Profile  string
+	NProcs   int
+	Segments int
+	Variant  Variant
+	Seconds  float64
+}
+
+// RunPlatformSweep measures every variant on every platform at one size.
+func RunPlatformSweep(nprocs, segments int) ([]PlatformResult, error) {
+	var out []PlatformResult
+	for _, name := range []string{"paragon", "cm5", "challenge"} {
+		prof, _ := vtime.ByName(name)
+		for _, v := range []Variant{Unbuffered, ManualBuf, Streams} {
+			secs, err := Seconds(Run{Profile: prof, NProcs: nprocs, Segments: segments, Variant: v})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v: %w", name, v, err)
+			}
+			out = append(out, PlatformResult{
+				Profile: name, NProcs: nprocs, Segments: segments, Variant: v, Seconds: secs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ScalingPoint is one node-count measurement of the scaling sweep.
+type ScalingPoint struct {
+	NProcs int
+	Linear float64 // seconds with linear collectives
+	Tree   float64 // seconds with tree collectives
+}
+
+// RunScalingSweep measures the streams variant at fixed problem size over a
+// range of node counts, under both collective algorithms — the extension
+// "figure" beyond the paper's 8-processor ceiling. The benchmark is
+// strong-scaling: total data stays constant.
+func RunScalingSweep(prof vtime.Profile, segments int, procCounts []int) ([]ScalingPoint, error) {
+	return runScaling(prof, procCounts, func(int) int { return segments })
+}
+
+// RunWeakScalingSweep grows the problem with the machine: segmentsPerProc
+// segments per node, so perfect weak scaling is a flat line.
+func RunWeakScalingSweep(prof vtime.Profile, segmentsPerProc int, procCounts []int) ([]ScalingPoint, error) {
+	return runScaling(prof, procCounts, func(p int) int { return segmentsPerProc * p })
+}
+
+func runScaling(prof vtime.Profile, procCounts []int, segsFor func(p int) int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, p := range procCounts {
+		pt := ScalingPoint{NProcs: p}
+		for _, alg := range []collective.Algorithm{collective.Linear, collective.Tree} {
+			secs, err := Seconds(Run{
+				Profile: prof, NProcs: p, Segments: segsFor(p),
+				Variant: Streams, Collectives: alg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: scaling p=%d alg=%v: %w", p, alg, err)
+			}
+			if alg == collective.Linear {
+				pt.Linear = secs
+			} else {
+				pt.Tree = secs
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScalingSweep renders the sweep.
+func FormatScalingSweep(w io.Writer, prof vtime.Profile, segments int, pts []ScalingPoint) {
+	fmt.Fprintf(w, "Strong scaling (extension) — %s, %d segments, streams variant (virtual seconds):\n",
+		prof.Name, segments)
+	fmt.Fprintf(w, "%8s %14s %14s\n", "procs", "linear-coll", "tree-coll")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %14.3f %14.3f\n", p.NProcs, p.Linear, p.Tree)
+	}
+}
+
+// FormatPlatformSweep renders the sweep as a table.
+func FormatPlatformSweep(w io.Writer, results []PlatformResult) {
+	if len(results) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Platform sweep — %d procs, %d segments (output+input, virtual seconds):\n",
+		results[0].NProcs, results[0].Segments)
+	fmt.Fprintf(w, "%-20s %12s %12s %12s\n", "variant", "paragon", "cm5", "challenge")
+	byKey := map[string]float64{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%d", r.Profile, r.Variant)] = r.Seconds
+	}
+	for _, v := range []Variant{Unbuffered, ManualBuf, Streams} {
+		fmt.Fprintf(w, "%-20s %12.3f %12.3f %12.3f\n", v,
+			byKey[fmt.Sprintf("paragon/%d", v)],
+			byKey[fmt.Sprintf("cm5/%d", v)],
+			byKey[fmt.Sprintf("challenge/%d", v)])
+	}
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pcxxstreams/internal/vtime"
+)
+
+// TableSpec describes one table of the paper's Figure 5, including the
+// published numbers for side-by-side comparison.
+type TableSpec struct {
+	ID       int
+	Title    string
+	Platform string // profile name
+	NProcs   int
+	// Columns.
+	Segments []int
+	SizeMB   []float64
+	// Paper rows, indexed [variant][column]; Percent is the paper's final
+	// row (pC++/streams as % of manual buffering).
+	PaperUnbuffered []float64
+	PaperManual     []float64
+	PaperStreams    []float64
+	PaperPercent    []float64
+}
+
+// Tables returns the four specs of Figure 5.
+func Tables() []TableSpec {
+	return []TableSpec{
+		{
+			ID: 1, Title: "Benchmark Results on Intel Paragon (4 processors)",
+			Platform: "paragon", NProcs: 4,
+			Segments:        []int{256, 512, 1000, 2000},
+			SizeMB:          []float64{1.4, 2.8, 5.6, 11.2},
+			PaperUnbuffered: []float64{7.13, 14.73, 283.00, 556.78},
+			PaperManual:     []float64{2.14, 3.04, 5.42, 54.17},
+			PaperStreams:    []float64{2.47, 3.31, 5.71, 55.00},
+			PaperPercent:    []float64{86.7, 91.9, 95.0, 98.5},
+		},
+		{
+			ID: 2, Title: "Benchmark Results on Intel Paragon (8 processors)",
+			Platform: "paragon", NProcs: 8,
+			Segments:        []int{256, 512, 1000, 2000},
+			SizeMB:          []float64{1.4, 2.8, 5.6, 11.2},
+			PaperUnbuffered: []float64{7.53, 14.47, 273.77, 561.72},
+			PaperManual:     []float64{2.91, 3.75, 5.72, 9.69},
+			PaperStreams:    []float64{3.36, 4.20, 6.16, 10.19},
+			PaperPercent:    []float64{86.5, 89.3, 93.0, 95.1},
+		},
+		{
+			ID: 3, Title: "Benchmark Results on Uniprocessor SGI Challenge (preliminary)",
+			Platform: "challenge", NProcs: 1,
+			Segments:        []int{1000, 2000, 20000},
+			SizeMB:          []float64{5.6, 11.2, 112},
+			PaperUnbuffered: []float64{1.68, 3.42, 32.20},
+			PaperManual:     []float64{1.05, 2.13, 20.9},
+			PaperStreams:    []float64{1.32, 2.71, 21.84},
+			PaperPercent:    []float64{79, 78, 95},
+		},
+		{
+			ID: 4, Title: "Benchmark Results on Multiprocessor SGI Challenge (8 processors) (preliminary)",
+			Platform: "challenge", NProcs: 8,
+			Segments:        []int{1000, 2000, 8000},
+			SizeMB:          []float64{5.6, 11.2, 44.8},
+			PaperUnbuffered: []float64{0.55, 1.10, 4.95},
+			PaperManual:     []float64{0.22, 0.34, 2.38},
+			PaperStreams:    []float64{0.39, 0.75, 2.65},
+			PaperPercent:    []float64{56, 45, 89},
+		},
+	}
+}
+
+// TableByID returns the spec with the given ID.
+func TableByID(id int) (TableSpec, error) {
+	for _, t := range Tables() {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("bench: no table %d (have 1-4)", id)
+}
+
+// TableResult holds one regenerated table.
+type TableResult struct {
+	Spec       TableSpec
+	Unbuffered []float64
+	Manual     []float64
+	Streams    []float64
+	Percent    []float64 // manual as % of streams time (paper's final row)
+}
+
+// RunTable regenerates every cell of spec. verify re-checks data integrity
+// after each input phase.
+func RunTable(spec TableSpec, verify bool) (TableResult, error) {
+	prof, ok := vtime.ByName(spec.Platform)
+	if !ok {
+		return TableResult{}, fmt.Errorf("bench: unknown platform %q", spec.Platform)
+	}
+	res := TableResult{Spec: spec}
+	for _, segs := range spec.Segments {
+		for _, v := range []Variant{Unbuffered, ManualBuf, Streams} {
+			secs, err := Seconds(Run{
+				Profile: prof, NProcs: spec.NProcs, Segments: segs,
+				Variant: v, Verify: verify,
+			})
+			if err != nil {
+				return res, fmt.Errorf("bench: table %d, %d segments, %v: %w", spec.ID, segs, v, err)
+			}
+			switch v {
+			case Unbuffered:
+				res.Unbuffered = append(res.Unbuffered, secs)
+			case ManualBuf:
+				res.Manual = append(res.Manual, secs)
+			case Streams:
+				res.Streams = append(res.Streams, secs)
+			}
+		}
+	}
+	for i := range res.Manual {
+		res.Percent = append(res.Percent, 100*res.Manual[i]/res.Streams[i])
+	}
+	return res, nil
+}
+
+// Format renders the regenerated table next to the paper's numbers.
+func (r TableResult) Format(w io.Writer) {
+	s := r.Spec
+	fmt.Fprintf(w, "Table %d: %s\n", s.ID, s.Title)
+	fmt.Fprintf(w, "(virtual seconds; paper values in parentheses)\n")
+	head := "I/O Size (# of Segments)  "
+	for i, mb := range s.SizeMB {
+		head += fmt.Sprintf("| %8.1f MB (%d) ", mb, s.Segments[i])
+	}
+	fmt.Fprintln(w, head)
+	fmt.Fprintln(w, strings.Repeat("-", len(head)))
+	row := func(label string, got, paper []float64, pct bool) {
+		fmt.Fprintf(w, "%-26s", label)
+		for i := range got {
+			if pct {
+				fmt.Fprintf(w, "| %6.1f%% (%5.1f%%) ", got[i], paper[i])
+			} else {
+				fmt.Fprintf(w, "| %7.2f (%7.2f) ", got[i], paper[i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	row("Unbuffered I/O", r.Unbuffered, s.PaperUnbuffered, false)
+	row("Manual Buffering", r.Manual, s.PaperManual, false)
+	row("pC++/streams", r.Streams, s.PaperStreams, false)
+	row("% of Manual Buf.", r.Percent, s.PaperPercent, true)
+	fmt.Fprintln(w)
+}
+
+// CheckShape validates the DESIGN.md shape criteria against the regenerated
+// numbers and returns the first violation.
+func (r TableResult) CheckShape() error {
+	s := r.Spec
+	for i := range s.Segments {
+		if r.Unbuffered[i] <= r.Manual[i] {
+			return fmt.Errorf("table %d col %d: unbuffered (%.2f) not slower than manual (%.2f)",
+				s.ID, i, r.Unbuffered[i], r.Manual[i])
+		}
+		if r.Streams[i] <= r.Manual[i] {
+			return fmt.Errorf("table %d col %d: streams (%.2f) not slower than manual (%.2f) — overhead vanished",
+				s.ID, i, r.Streams[i], r.Manual[i])
+		}
+		if r.Percent[i] <= 0 || r.Percent[i] >= 100 {
+			return fmt.Errorf("table %d col %d: percent %.1f out of (0,100)", s.ID, i, r.Percent[i])
+		}
+	}
+	// Library overhead shrinks as I/O size grows (Figure 5's headline).
+	for i := 1; i < len(r.Percent); i++ {
+		if r.Percent[i] < r.Percent[i-1] {
+			return fmt.Errorf("table %d: %% of manual not monotone: %.1f then %.1f",
+				s.ID, r.Percent[i-1], r.Percent[i])
+		}
+	}
+	// Paragon unbuffered cliff between 2.8 MB and 5.6 MB (Tables 1-2).
+	if s.Platform == "paragon" {
+		if r.Unbuffered[2] < 10*r.Unbuffered[1] {
+			return fmt.Errorf("table %d: no unbuffered cache cliff: %.2f → %.2f (want >10×)",
+				s.ID, r.Unbuffered[1], r.Unbuffered[2])
+		}
+	}
+	return nil
+}

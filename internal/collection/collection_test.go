@@ -1,0 +1,138 @@
+package collection
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/vtime"
+)
+
+func runMachine(t *testing.T, n int, body func(*machine.Node) error) {
+	t.Helper()
+	if _, err := machine.Run(machine.Config{NProcs: n, Profile: vtime.Challenge()}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsMismatchedProcs(t *testing.T) {
+	runMachine(t, 2, func(n *machine.Node) error {
+		d, _ := distr.New(10, 4, distr.Block, 0)
+		if _, err := New[int](n, d); err == nil {
+			return fmt.Errorf("mismatched nprocs accepted")
+		}
+		return nil
+	})
+}
+
+func TestLocalSizes(t *testing.T) {
+	runMachine(t, 3, func(n *machine.Node) error {
+		d, _ := distr.New(10, 3, distr.Block, 0)
+		c, err := New[float64](n, d)
+		if err != nil {
+			return err
+		}
+		want := d.LocalCount(n.Rank())
+		if c.LocalLen() != want {
+			return fmt.Errorf("rank %d LocalLen %d, want %d", n.Rank(), c.LocalLen(), want)
+		}
+		if c.GlobalLen() != 10 {
+			return fmt.Errorf("GlobalLen %d", c.GlobalLen())
+		}
+		return nil
+	})
+}
+
+// TestApplyCoversEveryElementOnce: across the machine, Apply visits each
+// global index exactly once with a correctly mapped pointer.
+func TestApplyCoversEveryElementOnce(t *testing.T) {
+	const N, P = 23, 4
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	runMachine(t, P, func(n *machine.Node) error {
+		d, _ := distr.New(N, P, distr.Cyclic, 0)
+		c, err := New[int](n, d)
+		if err != nil {
+			return err
+		}
+		c.Apply(func(g int, e *int) {
+			*e = g * g
+			mu.Lock()
+			seen[g]++
+			mu.Unlock()
+		})
+		// Local values really were written through the pointers.
+		for l, v := range c.Local() {
+			g := c.GlobalIndexOf(l)
+			if v != g*g {
+				return fmt.Errorf("rank %d local %d: %d != %d", n.Rank(), l, v, g*g)
+			}
+		}
+		return nil
+	})
+	if len(seen) != N {
+		t.Fatalf("visited %d distinct elements, want %d", len(seen), N)
+	}
+	for g, k := range seen {
+		if k != 1 {
+			t.Fatalf("element %d visited %d times", g, k)
+		}
+	}
+}
+
+func TestOwns(t *testing.T) {
+	runMachine(t, 2, func(n *machine.Node) error {
+		d, _ := distr.New(6, 2, distr.Cyclic, 0)
+		c, err := New[string](n, d)
+		if err != nil {
+			return err
+		}
+		for g := 0; g < 6; g++ {
+			l, ok := c.Owns(g)
+			wantOwn := g%2 == n.Rank()
+			if ok != wantOwn {
+				return fmt.Errorf("rank %d Owns(%d) = %v, want %v", n.Rank(), g, ok, wantOwn)
+			}
+			if ok && c.GlobalIndexOf(l) != g {
+				return fmt.Errorf("rank %d: slot %d maps to %d, want %d", n.Rank(), l, c.GlobalIndexOf(l), g)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAtAliasesLocal(t *testing.T) {
+	runMachine(t, 1, func(n *machine.Node) error {
+		d, _ := distr.New(4, 1, distr.Block, 0)
+		c, err := New[int](n, d)
+		if err != nil {
+			return err
+		}
+		*c.At(2) = 99
+		if c.Local()[2] != 99 {
+			return fmt.Errorf("At did not alias Local")
+		}
+		return nil
+	})
+}
+
+func TestAlignedWith(t *testing.T) {
+	runMachine(t, 2, func(n *machine.Node) error {
+		d1, _ := distr.New(8, 2, distr.Cyclic, 0)
+		d2, _ := distr.New(8, 2, distr.Cyclic, 0)
+		d3, _ := distr.New(8, 2, distr.Block, 0)
+		c, err := New[int](n, d1)
+		if err != nil {
+			return err
+		}
+		if !c.AlignedWith(d2) {
+			return fmt.Errorf("same layout reported unaligned")
+		}
+		if c.AlignedWith(d3) {
+			return fmt.Errorf("different layout reported aligned")
+		}
+		return nil
+	})
+}

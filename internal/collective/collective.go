@@ -1,0 +1,421 @@
+// Package collective implements the group communication operations the
+// d/stream library needs — barrier, broadcast, gather, allgather,
+// all-to-all (vector), and reductions — on top of the comm package's
+// point-to-point messages, mirroring the NX/CMMD collective calls the paper's
+// implementation used on the Paragon and CM-5.
+//
+// SPMD discipline: every rank must invoke the same sequence of collective
+// operations. Each operation consumes one slot of a per-communicator
+// sequence number which is baked into the message tags, so collectives can
+// never cross-talk with each other or with user point-to-point traffic.
+//
+// Synchronizing operations (Barrier, Bcast, Allgather, Allreduce, Alltoallv)
+// equalize virtual clocks across the group: every participant leaves at the
+// same virtual time, the deterministic completion time of the slowest
+// participant plus the operation's communication cost.
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/vtime"
+)
+
+// Tag layout: 8 bits op kind | 40 bits sequence | 16 bits sub-index.
+const (
+	kindBarrier uint64 = iota + 1
+	kindBcast
+	kindGather
+	kindAlltoall
+	kindReduce
+)
+
+func tag(kind, seq uint64, sub int) uint64 {
+	return kind<<56 | (seq&0xFFFFFFFFFF)<<16 | uint64(sub)&0xFFFF
+}
+
+// Comm is one rank's handle on the collective communicator.
+type Comm struct {
+	ep  *comm.Endpoint
+	seq uint64
+	alg Algorithm
+}
+
+// New wraps an endpoint in a collective communicator.
+func New(ep *comm.Endpoint) *Comm { return &Comm{ep: ep} }
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size returns the number of ranks in the group.
+func (c *Comm) Size() int { return c.ep.Size() }
+
+// Endpoint exposes the underlying endpoint for point-to-point use.
+func (c *Comm) Endpoint() *comm.Endpoint { return c.ep }
+
+func (c *Comm) next() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func encodeTime(t float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(t))
+	return b
+}
+
+func decodeTime(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// releaseTime computes the equalized exit timestamp for a root about to
+// send n sequential release messages of size bytes each: the latest arrival
+// time any receiver will compute. The loop replicates, operation for
+// operation, the floating-point arithmetic performed by Endpoint.Send
+// (repeated Advance) and Endpoint.Recv (arrival = sendTime + latency +
+// transfer), so that the timestamp carried in the release payload is exactly
+// the maximum of the receivers' locally computed arrival times — bit-equal
+// clock equalization, not merely approximate.
+func (c *Comm) releaseTime(n int, size int) float64 {
+	p := c.ep.Profile()
+	t := c.ep.Clock().Now()
+	transfer := vtime.TransferTime(int64(size), p.MsgBW)
+	rel := t
+	for i := 0; i < n; i++ {
+		t += p.SendOverhead
+		if arrival := t + p.MsgLatency + transfer; arrival > rel {
+			rel = arrival
+		}
+	}
+	return rel
+}
+
+// Barrier blocks until all ranks arrive. Under the Linear algorithm every
+// rank leaves at the same virtual time; the Tree (dissemination) variant
+// releases ranks within O(log P) message latencies of each other.
+func (c *Comm) Barrier() error {
+	seq := c.next()
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	if c.alg == Tree {
+		return c.barrierDissemination(seq)
+	}
+	me := c.Rank()
+	if me == 0 {
+		for r := 1; r < n; r++ {
+			if _, err := c.ep.Recv(r, tag(kindBarrier, seq, 0)); err != nil {
+				return fmt.Errorf("collective: barrier gather: %w", err)
+			}
+		}
+		rel := c.releaseTime(n-1, 8)
+		payload := encodeTime(rel)
+		for r := 1; r < n; r++ {
+			if err := c.ep.Send(r, tag(kindBarrier, seq, 1), payload); err != nil {
+				return fmt.Errorf("collective: barrier release: %w", err)
+			}
+		}
+		c.ep.Clock().SyncTo(rel)
+		return nil
+	}
+	if err := c.ep.Send(0, tag(kindBarrier, seq, 0), nil); err != nil {
+		return fmt.Errorf("collective: barrier arrive: %w", err)
+	}
+	d, err := c.ep.Recv(0, tag(kindBarrier, seq, 1))
+	if err != nil {
+		return fmt.Errorf("collective: barrier release: %w", err)
+	}
+	c.ep.Clock().SyncTo(decodeTime(d))
+	return nil
+}
+
+// Bcast distributes root's data to every rank and returns it (the root
+// returns its own slice). All ranks leave at the same virtual time.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	seq := c.next()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: bcast root %d out of range", root)
+	}
+	if n == 1 {
+		return data, nil
+	}
+	if c.alg == Tree {
+		return c.bcastTree(seq, root, data)
+	}
+	if c.Rank() == root {
+		// 8-byte equalization prefix + payload.
+		rel := c.releaseTime(n-1, 8+len(data))
+		payload := append(encodeTime(rel), data...)
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.ep.Send(r, tag(kindBcast, seq, 0), payload); err != nil {
+				return nil, fmt.Errorf("collective: bcast send: %w", err)
+			}
+		}
+		c.ep.Clock().SyncTo(rel)
+		return data, nil
+	}
+	d, err := c.ep.Recv(root, tag(kindBcast, seq, 0))
+	if err != nil {
+		return nil, fmt.Errorf("collective: bcast recv: %w", err)
+	}
+	if len(d) < 8 {
+		return nil, fmt.Errorf("collective: bcast short frame (%d bytes)", len(d))
+	}
+	c.ep.Clock().SyncTo(decodeTime(d[:8]))
+	return d[8:], nil
+}
+
+// Gather collects each rank's data at root. At root the result has Size()
+// entries in rank order (root's own entry aliases data); other ranks get
+// nil. Gather does not synchronize the senders.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	seq := c.next()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: gather root %d out of range", root)
+	}
+	if c.Rank() != root {
+		if err := c.ep.Send(root, tag(kindGather, seq, 0), data); err != nil {
+			return nil, fmt.Errorf("collective: gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, n)
+	out[root] = data
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		d, err := c.ep.Recv(r, tag(kindGather, seq, 0))
+		if err != nil {
+			return nil, fmt.Errorf("collective: gather recv from %d: %w", r, err)
+		}
+		out[r] = d
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's data on every rank. The Linear algorithm
+// gathers at rank 0 and broadcasts the concatenation (synchronizing
+// everyone); the Tree algorithm uses recursive doubling for power-of-two
+// group sizes — log P exchange rounds, no root bottleneck — and falls back
+// to gather+tree-broadcast otherwise.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	if c.alg == Tree && c.Size()&(c.Size()-1) == 0 && c.Size() > 1 {
+		return c.allgatherRD(c.next(), data)
+	}
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var flat []byte
+	if c.Rank() == 0 {
+		flat = flatten(parts)
+	}
+	flat, err = c.Bcast(0, flat)
+	if err != nil {
+		return nil, err
+	}
+	return unflatten(flat)
+}
+
+// Scatterv delivers parts[j] from root to rank j and returns the caller's
+// part. Only root supplies parts; other ranks pass nil. Receivers
+// synchronize with root; ranks do not synchronize with each other (matching
+// NX csend/crecv semantics).
+func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
+	seq := c.next()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: scatterv root %d out of range", root)
+	}
+	if c.Rank() == root {
+		if len(parts) != n {
+			return nil, fmt.Errorf("collective: scatterv got %d parts for %d ranks", len(parts), n)
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.ep.Send(r, tag(kindGather, seq, 1), parts[r]); err != nil {
+				return nil, fmt.Errorf("collective: scatterv send to %d: %w", r, err)
+			}
+		}
+		own := make([]byte, len(parts[root]))
+		copy(own, parts[root])
+		return own, nil
+	}
+	d, err := c.ep.Recv(root, tag(kindGather, seq, 1))
+	if err != nil {
+		return nil, fmt.Errorf("collective: scatterv recv: %w", err)
+	}
+	return d, nil
+}
+
+// Alltoallv delivers bufs[j] from each rank to rank j; the result holds, in
+// rank order, what every rank sent to the caller. len(bufs) must equal
+// Size(). All ranks leave synchronized (a barrier closes the exchange, as
+// with a synchronized NX exchange).
+func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
+	n := c.Size()
+	if len(bufs) != n {
+		return nil, fmt.Errorf("collective: alltoallv got %d buffers for %d ranks", len(bufs), n)
+	}
+	seq := c.next()
+	me := c.Rank()
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		if err := c.ep.Send(r, tag(kindAlltoall, seq, 0), bufs[r]); err != nil {
+			return nil, fmt.Errorf("collective: alltoallv send to %d: %w", r, err)
+		}
+	}
+	out := make([][]byte, n)
+	// Receive own contribution by copy, matching wire semantics.
+	own := make([]byte, len(bufs[me]))
+	copy(own, bufs[me])
+	out[me] = own
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		d, err := c.ep.Recv(r, tag(kindAlltoall, seq, 0))
+		if err != nil {
+			return nil, fmt.Errorf("collective: alltoallv recv from %d: %w", r, err)
+		}
+		out[r] = d
+	}
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceOp selects the reduction operator for the float64 reductions.
+type ReduceOp uint8
+
+const (
+	// OpSum adds contributions.
+	OpSum ReduceOp = iota
+	// OpMax keeps the maximum contribution.
+	OpMax
+	// OpMin keeps the minimum contribution.
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("collective: unknown reduce op %d", op))
+}
+
+// Reduce combines every rank's value at root. Non-root ranks receive the
+// zero value and do not synchronize.
+func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
+	seq := c.next()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("collective: reduce root %d out of range", root)
+	}
+	if c.alg == Tree {
+		return c.reduceTree(seq, root, v, op)
+	}
+	if c.Rank() != root {
+		if err := c.ep.Send(root, tag(kindReduce, seq, 0), encodeTime(v)); err != nil {
+			return 0, fmt.Errorf("collective: reduce send: %w", err)
+		}
+		return 0, nil
+	}
+	acc := v
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		d, err := c.ep.Recv(r, tag(kindReduce, seq, 0))
+		if err != nil {
+			return 0, fmt.Errorf("collective: reduce recv from %d: %w", r, err)
+		}
+		acc = op.apply(acc, decodeTime(d))
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's value and returns the result everywhere.
+// All ranks leave synchronized.
+func (c *Comm) Allreduce(v float64, op ReduceOp) (float64, error) {
+	acc, err := c.Reduce(0, v, op)
+	if err != nil {
+		return 0, err
+	}
+	var payload []byte
+	if c.Rank() == 0 {
+		payload = encodeTime(acc)
+	}
+	payload, err = c.Bcast(0, payload)
+	if err != nil {
+		return 0, err
+	}
+	return decodeTime(payload), nil
+}
+
+// flatten encodes parts as [u32 count][u32 len_i]*[bytes_i]*.
+func flatten(parts [][]byte) []byte {
+	total := 4 + 4*len(parts)
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]byte, 4, total)
+	binary.LittleEndian.PutUint32(out, uint32(len(parts)))
+	for _, p := range parts {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(p)))
+		out = append(out, l[:]...)
+	}
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unflatten(flat []byte) ([][]byte, error) {
+	if len(flat) < 4 {
+		return nil, fmt.Errorf("collective: unflatten short header")
+	}
+	n := int(binary.LittleEndian.Uint32(flat))
+	off := 4
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(flat) {
+			return nil, fmt.Errorf("collective: unflatten truncated lengths")
+		}
+		lens[i] = int(binary.LittleEndian.Uint32(flat[off:]))
+		off += 4
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if off+lens[i] > len(flat) {
+			return nil, fmt.Errorf("collective: unflatten truncated payload %d", i)
+		}
+		out[i] = flat[off : off+lens[i] : off+lens[i]]
+		off += lens[i]
+	}
+	if off != len(flat) {
+		return nil, fmt.Errorf("collective: unflatten %d trailing bytes", len(flat)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pcxxstreams/internal/vtime"
+)
+
+// spmdAlg runs body over the channel transport with the given algorithm.
+func spmdAlg(t *testing.T, n int, alg Algorithm, body func(c *Comm) error) []float64 {
+	t.Helper()
+	return spmd(t, n, func(c *Comm) error {
+		c.SetAlgorithm(alg)
+		return body(c)
+	})
+}
+
+func TestTreeBcastAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+		for _, root := range []int{0, n - 1, n / 2} {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				spmdAlg(t, n, Tree, func(c *Comm) error {
+					var data []byte
+					if c.Rank() == root {
+						data = []byte(fmt.Sprintf("payload-%d-%d", n, root))
+					}
+					got, err := c.Bcast(root, data)
+					if err != nil {
+						return err
+					}
+					want := fmt.Sprintf("payload-%d-%d", n, root)
+					if string(got) != want {
+						return fmt.Errorf("rank %d got %q", c.Rank(), got)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestTreeReduceAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 9, 16} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			spmdAlg(t, n, Tree, func(c *Comm) error {
+				// Integer-valued floats: exact under any association order.
+				sum, err := c.Reduce(0, float64(c.Rank()+1), OpSum)
+				if err != nil {
+					return err
+				}
+				want := float64(n*(n+1)) / 2
+				if c.Rank() == 0 && sum != want {
+					return fmt.Errorf("sum = %v, want %v", sum, want)
+				}
+				max, err := c.Reduce(0, float64(c.Rank()), OpMax)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 && max != float64(n-1) {
+					return fmt.Errorf("max = %v", max)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestTreeBarrierOrdering(t *testing.T) {
+	// The dissemination barrier must not release anyone before the slowest
+	// participant arrived.
+	times := spmdAlg(t, 8, Tree, func(c *Comm) error {
+		c.Endpoint().Clock().Advance(float64(c.Rank()))
+		return c.Barrier()
+	})
+	for r, tm := range times {
+		if tm < 7 {
+			t.Fatalf("rank %d left the barrier at %v, before the slowest arrival (7)", r, tm)
+		}
+	}
+}
+
+func TestTreeAllreduce(t *testing.T) {
+	spmdAlg(t, 12, Tree, func(c *Comm) error {
+		got, err := c.Allreduce(1, OpSum)
+		if err != nil {
+			return err
+		}
+		if got != 12 {
+			return fmt.Errorf("allreduce = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestTreeCollectivesSequence(t *testing.T) {
+	spmdAlg(t, 5, Tree, func(c *Comm) error {
+		for i := 0; i < 5; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			msg := []byte{byte(i)}
+			var in []byte
+			if c.Rank() == i%5 {
+				in = msg
+			}
+			got, err := c.Bcast(i%5, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, msg) {
+				return fmt.Errorf("round %d got %v", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestTreeScalesLogarithmically: at 64 nodes, tree broadcast completes in
+// far less virtual time than linear broadcast.
+func TestTreeScalesLogarithmically(t *testing.T) {
+	elapsed := func(n int, alg Algorithm) float64 {
+		times := spmdAlg(t, n, alg, func(c *Comm) error {
+			var data []byte
+			if c.Rank() == 0 {
+				data = make([]byte, 1024)
+			}
+			_, err := c.Bcast(0, data)
+			return err
+		})
+		return vtime.MaxOf(times)
+	}
+	lin, tree := elapsed(256, Linear), elapsed(256, Tree)
+	if tree >= lin/3 {
+		t.Fatalf("tree bcast (%v) not ≥3x faster than linear (%v) at 256 nodes", tree, lin)
+	}
+	// At the paper's scale the two are comparable; linear is not broken.
+	lin8, tree8 := elapsed(8, Linear), elapsed(8, Tree)
+	if lin8 > 3*tree8 {
+		t.Fatalf("linear (%v) unexpectedly poor at 8 nodes vs tree (%v)", lin8, tree8)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Linear.String() != "linear" || Tree.String() != "tree" {
+		t.Fatal("algorithm names wrong")
+	}
+}
+
+// TestAlgorithmsAgreeOnResults: for exact-representable inputs, the linear
+// and tree algorithms compute identical collective results across random
+// group sizes and roots.
+func TestAlgorithmsAgreeOnResults(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 11} {
+		n := n
+		results := map[Algorithm][]float64{}
+		for _, alg := range []Algorithm{Linear, Tree} {
+			sums := make([]float64, n)
+			spmdAlg(t, n, alg, func(c *Comm) error {
+				s, err := c.Allreduce(float64(c.Rank()*3+1), OpSum)
+				if err != nil {
+					return err
+				}
+				sums[c.Rank()] = s
+				return nil
+			})
+			results[alg] = sums
+		}
+		for r := 0; r < n; r++ {
+			if results[Linear][r] != results[Tree][r] {
+				t.Fatalf("n=%d rank %d: linear %v != tree %v",
+					n, r, results[Linear][r], results[Tree][r])
+			}
+		}
+	}
+}
+
+// TestGatherScattervInverse: Scatterv undoes Gather.
+func TestGatherScattervInverse(t *testing.T) {
+	spmd(t, 5, func(c *Comm) error {
+		mine := []byte(fmt.Sprintf("rank-%d-data", c.Rank()))
+		parts, err := c.Gather(0, mine)
+		if err != nil {
+			return err
+		}
+		got, err := c.Scatterv(0, parts)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(mine) {
+			return fmt.Errorf("rank %d: scatter(gather(x)) = %q, want %q", c.Rank(), got, mine)
+		}
+		return nil
+	})
+}
+
+// TestRecursiveDoublingAllgather: correct contents at power-of-two sizes,
+// fallback at others, and a latency win over the rooted linear version.
+func TestRecursiveDoublingAllgather(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 3, 6} { // incl. non-powers (fallback)
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			spmdAlg(t, n, Tree, func(c *Comm) error {
+				mine := bytes.Repeat([]byte{byte('A' + c.Rank())}, c.Rank()+1)
+				parts, err := c.Allgather(mine)
+				if err != nil {
+					return err
+				}
+				if len(parts) != n {
+					return fmt.Errorf("got %d parts", len(parts))
+				}
+				for r, p := range parts {
+					want := bytes.Repeat([]byte{byte('A' + r)}, r+1)
+					if !bytes.Equal(p, want) {
+						return fmt.Errorf("rank %d part %d = %q, want %q", c.Rank(), r, p, want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestRDAllgatherBufferIsolation: the returned own-part must not alias the
+// caller's buffer.
+func TestRDAllgatherBufferIsolation(t *testing.T) {
+	spmdAlg(t, 4, Tree, func(c *Comm) error {
+		mine := []byte{byte(c.Rank()), 99}
+		parts, err := c.Allgather(mine)
+		if err != nil {
+			return err
+		}
+		mine[1] = 0
+		if parts[c.Rank()][1] != 99 {
+			return fmt.Errorf("allgather aliased input buffer")
+		}
+		return nil
+	})
+}
+
+// TestRDAllgatherFasterAtScale: at 128 nodes the log-round exchange beats
+// the rooted gather+bcast in virtual time.
+func TestRDAllgatherFasterAtScale(t *testing.T) {
+	elapsed := func(alg Algorithm) float64 {
+		times := spmdAlg(t, 128, alg, func(c *Comm) error {
+			_, err := c.Allgather(make([]byte, 32))
+			return err
+		})
+		return vtime.MaxOf(times)
+	}
+	lin, tree := elapsed(Linear), elapsed(Tree)
+	if tree >= lin/2 {
+		t.Fatalf("rd allgather (%v) not ≥2x faster than linear (%v) at 128 nodes", tree, lin)
+	}
+}

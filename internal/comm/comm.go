@@ -1,0 +1,202 @@
+// Package comm provides the rank-addressed message-passing substrate of the
+// simulated multicomputer. The paper's pC++ runtime sat on Intel NX and TMC
+// CMMD; Go has no MPI culture, so this package emulates the same facility
+// with goroutines and sockets: a Transport moves tagged byte payloads
+// between ranks, and an Endpoint layers deterministic virtual-time
+// accounting on top (each message carries its send timestamp; the receiver's
+// clock advances to send time + latency + size/bandwidth).
+//
+// Two transports are provided behind one interface: ChanTransport (in-process
+// queues) and TCPTransport (real loopback sockets, exercising genuine
+// serialization). Because virtual time is carried in-band, both transports
+// produce identical virtual-time results for the same program.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pcxxstreams/internal/vtime"
+)
+
+// Message is one rank-to-rank datagram. Time is the sender's virtual clock
+// at the moment of sending.
+type Message struct {
+	From, To int
+	Tag      uint64
+	Time     float64
+	Data     []byte
+}
+
+// Transport delivers messages between ranks. Implementations must preserve
+// per-(sender, tag) FIFO order and must match receives by exact (from, tag).
+type Transport interface {
+	// Send enqueues m for delivery to m.To. It must not block indefinitely
+	// on a well-formed program.
+	Send(m Message) error
+	// Recv blocks until a message from `from` with tag `tag` addressed to
+	// `to` is available and returns it.
+	Recv(to, from int, tag uint64) (Message, error)
+	// Close releases transport resources. Pending receivers get errors.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("comm: transport closed")
+
+// mailbox is a matching queue shared by both transports: messages land in a
+// per-destination list; receivers scan for the first (from, tag) match.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+func (mb *mailbox) get(from int, tag uint64) (Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.From == from && m.Tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return Message{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// ChanTransport is the in-process transport: one mailbox per rank.
+type ChanTransport struct {
+	boxes []*mailbox
+}
+
+// NewChanTransport creates an in-process transport for n ranks.
+func NewChanTransport(n int) *ChanTransport {
+	t := &ChanTransport{boxes: make([]*mailbox, n)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(m Message) error {
+	if m.To < 0 || m.To >= len(t.boxes) {
+		return fmt.Errorf("comm: send to invalid rank %d (size %d)", m.To, len(t.boxes))
+	}
+	// Copy the payload: senders are free to reuse their buffers, exactly as
+	// with a real wire transport.
+	if m.Data != nil {
+		d := make([]byte, len(m.Data))
+		copy(d, m.Data)
+		m.Data = d
+	}
+	return t.boxes[m.To].put(m)
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(to, from int, tag uint64) (Message, error) {
+	if to < 0 || to >= len(t.boxes) {
+		return Message{}, fmt.Errorf("comm: recv on invalid rank %d (size %d)", to, len(t.boxes))
+	}
+	return t.boxes[to].get(from, tag)
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	for _, b := range t.boxes {
+		b.close()
+	}
+	return nil
+}
+
+// Endpoint is one rank's view of the transport plus its virtual-time
+// accounting. All Endpoint methods must be called only from the owning
+// node's goroutine.
+type Endpoint struct {
+	rank, size int
+	tr         Transport
+	clock      *vtime.Clock
+	prof       vtime.Profile
+
+	// Statistics, local to the owning goroutine.
+	sent, received int
+	bytesSent      int64
+}
+
+// NewEndpoint binds rank's endpoint onto tr.
+func NewEndpoint(rank, size int, tr Transport, clock *vtime.Clock, prof vtime.Profile) *Endpoint {
+	return &Endpoint{rank: rank, size: size, tr: tr, clock: clock, prof: prof}
+}
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks.
+func (e *Endpoint) Size() int { return e.size }
+
+// Clock returns the owning node's virtual clock.
+func (e *Endpoint) Clock() *vtime.Clock { return e.clock }
+
+// Profile returns the platform cost profile.
+func (e *Endpoint) Profile() vtime.Profile { return e.prof }
+
+// Send transmits data to rank `to` under `tag`, charging the sender its
+// per-message CPU overhead.
+func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
+	e.clock.Advance(e.prof.SendOverhead)
+	e.sent++
+	e.bytesSent += int64(len(data))
+	return e.tr.Send(Message{
+		From: e.rank, To: to, Tag: tag,
+		Time: e.clock.Now(), Data: data,
+	})
+}
+
+// Recv blocks for the matching message and advances the local clock to the
+// message's arrival time: send time + latency + transfer time.
+func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
+	m, err := e.tr.Recv(e.rank, from, tag)
+	if err != nil {
+		return nil, err
+	}
+	arrival := m.Time + e.prof.MsgLatency + vtime.TransferTime(int64(len(m.Data)), e.prof.MsgBW)
+	e.clock.SyncTo(arrival)
+	e.received++
+	return m.Data, nil
+}
+
+// Stats reports messages sent/received and bytes sent by this endpoint.
+func (e *Endpoint) Stats() (sent, received int, bytesSent int64) {
+	return e.sent, e.received, e.bytesSent
+}

@@ -1,0 +1,42 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultyTransport wraps a transport and fails operations after a budget is
+// exhausted — the message-layer counterpart of pfs.FaultyBackend, used to
+// test that node failures during communication surface as errors everywhere
+// instead of hanging the machine.
+type FaultyTransport struct {
+	Transport
+	mu        sync.Mutex
+	sendsLeft int
+	dead      bool
+}
+
+// NewFaultyTransport wraps tr, allowing sendsLeft successful sends before
+// every further operation fails (and pending receivers are released).
+func NewFaultyTransport(tr Transport, sendsLeft int) *FaultyTransport {
+	return &FaultyTransport{Transport: tr, sendsLeft: sendsLeft}
+}
+
+// Send fails once the budget is spent, closing the underlying transport so
+// blocked receivers wake with errors (a crashed interconnect, not a hang).
+func (f *FaultyTransport) Send(m Message) error {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return fmt.Errorf("comm: injected link failure (transport dead)")
+	}
+	if f.sendsLeft <= 0 {
+		f.dead = true
+		f.mu.Unlock()
+		f.Transport.Close()
+		return fmt.Errorf("comm: injected link failure after send budget")
+	}
+	f.sendsLeft--
+	f.mu.Unlock()
+	return f.Transport.Send(m)
+}

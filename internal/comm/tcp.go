@@ -1,0 +1,185 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// TCPTransport moves messages over real loopback TCP sockets. Every rank
+// holds one multiplexed connection to a central acceptor; frames carry the
+// destination rank and are dispatched into per-rank mailboxes. Virtual time
+// rides in-band (the frame carries the sender's timestamp), so a program
+// produces the same virtual-time results over TCP as over channels — a
+// property the transport tests assert.
+type TCPTransport struct {
+	boxes []*mailbox
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns []*tcpConn // indexed by sender rank
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// frame layout: u32 payloadLen | u32 from | u32 to | u64 tag | u64 timeBits | payload
+const frameHeaderLen = 4 + 4 + 4 + 8 + 8
+
+// NewTCPTransport creates a transport for n ranks over loopback TCP. It
+// starts a listener, dials one connection per rank, and spawns reader
+// goroutines that dispatch inbound frames to mailboxes.
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp listen: %w", err)
+	}
+	t := &TCPTransport{
+		boxes: make([]*mailbox, n),
+		ln:    ln,
+		conns: make([]*tcpConn, n),
+		done:  make(chan struct{}),
+	}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+
+	accepted := make(chan net.Conn, n)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for i := 0; i < n; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				close(accepted)
+				return
+			}
+			accepted <- c
+		}
+		close(accepted)
+	}()
+
+	for rank := 0; rank < n; rank++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("comm: tcp dial rank %d: %w", rank, err)
+		}
+		t.conns[rank] = &tcpConn{c: c, w: bufio.NewWriter(c)}
+	}
+
+	// Spawn a reader per accepted connection. Which accepted socket pairs
+	// with which dialer does not matter: frames self-describe From/To.
+	for c := range accepted {
+		c := c
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(c)
+		}()
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	r := bufio.NewReader(c)
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		m := Message{
+			From: int(int32(binary.LittleEndian.Uint32(hdr[4:8]))),
+			To:   int(int32(binary.LittleEndian.Uint32(hdr[8:12]))),
+			Tag:  binary.LittleEndian.Uint64(hdr[12:20]),
+			Time: math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:28])),
+		}
+		if plen > 0 {
+			m.Data = make([]byte, plen)
+			if _, err := io.ReadFull(r, m.Data); err != nil {
+				return
+			}
+		}
+		if m.To < 0 || m.To >= len(t.boxes) {
+			return // corrupt frame; drop the connection
+		}
+		if err := t.boxes[m.To].put(m); err != nil {
+			return
+		}
+	}
+}
+
+// Send implements Transport by framing m onto the sender's connection.
+func (t *TCPTransport) Send(m Message) error {
+	if m.From < 0 || m.From >= len(t.conns) {
+		return fmt.Errorf("comm: tcp send from invalid rank %d", m.From)
+	}
+	if m.To < 0 || m.To >= len(t.boxes) {
+		return fmt.Errorf("comm: tcp send to invalid rank %d", m.To)
+	}
+	tc := t.conns[m.From]
+	hdr := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(m.From)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(m.To)))
+	binary.LittleEndian.PutUint64(hdr[12:20], m.Tag)
+	binary.LittleEndian.PutUint64(hdr[20:28], math.Float64bits(m.Time))
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(hdr); err != nil {
+		return fmt.Errorf("comm: tcp send: %w", err)
+	}
+	if len(m.Data) > 0 {
+		if _, err := tc.w.Write(m.Data); err != nil {
+			return fmt.Errorf("comm: tcp send: %w", err)
+		}
+	}
+	if err := tc.w.Flush(); err != nil {
+		return fmt.Errorf("comm: tcp send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(to, from int, tag uint64) (Message, error) {
+	if to < 0 || to >= len(t.boxes) {
+		return Message{}, fmt.Errorf("comm: tcp recv on invalid rank %d", to)
+	}
+	return t.boxes[to].get(from, tag)
+}
+
+// Close shuts down the listener, all connections, and all mailboxes.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return nil
+	default:
+		close(t.done)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, tc := range t.conns {
+		if tc != nil {
+			tc.c.Close()
+		}
+	}
+	for _, b := range t.boxes {
+		b.close()
+	}
+	t.wg.Wait()
+	return nil
+}

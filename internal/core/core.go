@@ -1,0 +1,52 @@
+// Package core marks the paper's primary contribution within the prescribed
+// repository layout. The d/stream implementation itself lives in
+// pcxxstreams/internal/dstream (see that package's documentation for the
+// abstraction, the Figure 2 state machines, and the on-disk format); this
+// package re-exports its public surface under the canonical internal/core
+// path so the contribution is reachable where the repository structure
+// promises it.
+package core
+
+import (
+	"pcxxstreams/internal/dstream"
+)
+
+// Core d/stream types.
+type (
+	// OStream is an output d/stream (see dstream.OStream).
+	OStream = dstream.OStream
+	// IStream is an input d/stream (see dstream.IStream).
+	IStream = dstream.IStream
+	// Encoder is the per-element payload encoder.
+	Encoder = dstream.Encoder
+	// Decoder is the per-element payload decoder.
+	Decoder = dstream.Decoder
+	// Inserter is implemented by self-inserting element types.
+	Inserter = dstream.Inserter
+	// Extractor is implemented by self-extracting element types.
+	Extractor = dstream.Extractor
+	// Options tunes stream behaviour.
+	Options = dstream.Options
+	// MetaPolicy selects the metadata write path.
+	MetaPolicy = dstream.MetaPolicy
+)
+
+// Stream constructors.
+var (
+	// Output opens an output d/stream.
+	Output = dstream.Output
+	// OutputOpts opens an output d/stream with options.
+	OutputOpts = dstream.OutputOpts
+	// Input opens an input d/stream.
+	Input = dstream.Input
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed reports use of a closed stream.
+	ErrClosed = dstream.ErrClosed
+	// ErrNotAligned reports a collection/stream layout mismatch.
+	ErrNotAligned = dstream.ErrNotAligned
+	// ErrOrder reports a Figure 2 state-machine violation.
+	ErrOrder = dstream.ErrOrder
+)

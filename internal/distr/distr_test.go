@@ -1,0 +1,400 @@
+package distr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n, p int, m Mode, b int) *Distribution {
+	t.Helper()
+	d, err := New(n, p, m, b)
+	if err != nil {
+		t.Fatalf("New(%d,%d,%v,%d): %v", n, p, m, b, err)
+	}
+	return d
+}
+
+func TestBlockOwnership(t *testing.T) {
+	d := mustNew(t, 10, 3, Block, 0)
+	// ceil(10/3)=4: ranks own [0..3], [4..7], [8..9].
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := d.Owner(i); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if d.LocalCount(0) != 4 || d.LocalCount(1) != 4 || d.LocalCount(2) != 2 {
+		t.Errorf("LocalCounts = %d,%d,%d, want 4,4,2",
+			d.LocalCount(0), d.LocalCount(1), d.LocalCount(2))
+	}
+}
+
+func TestCyclicOwnership(t *testing.T) {
+	d := mustNew(t, 12, 4, Cyclic, 0)
+	for i := 0; i < 12; i++ {
+		if got := d.Owner(i); got != i%4 {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, i%4)
+		}
+		if got := d.LocalIndex(i); got != i/4 {
+			t.Errorf("LocalIndex(%d) = %d, want %d", i, got, i/4)
+		}
+	}
+}
+
+func TestBlockCyclicOwnership(t *testing.T) {
+	d := mustNew(t, 16, 2, BlockCyclic, 3)
+	// blocks of 3: [0-2]→0, [3-5]→1, [6-8]→0, [9-11]→1, [12-14]→0, [15]→1
+	want := []int{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 1}
+	for i, w := range want {
+		if got := d.Owner(i); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestInvalidConstructors(t *testing.T) {
+	if _, err := New(-1, 4, Block, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(10, 0, Block, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := New(10, 2, BlockCyclic, 0); err == nil {
+		t.Error("BLOCK_CYCLIC with blockSize 0 accepted")
+	}
+	if _, err := NewAligned(10, 10, 2, Block, 0, Alignment{Offset: 5, Stride: 1}); err == nil {
+		t.Error("alignment outside template accepted")
+	}
+	if _, err := NewAligned(10, 10, 2, Block, 0, Alignment{Offset: 0, Stride: 0}); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+// TestOwnershipBijection checks that (Owner, LocalIndex) and GlobalIndex are
+// inverse bijections for every mode and a spread of shapes — the invariant
+// the d/stream read-side redistribution depends on.
+func TestOwnershipBijection(t *testing.T) {
+	shapes := []struct {
+		n, p, b int
+		m       Mode
+	}{
+		{1, 1, 0, Block}, {7, 3, 0, Block}, {12, 4, 0, Block}, {100, 7, 0, Block},
+		{7, 3, 0, Cyclic}, {12, 4, 0, Cyclic}, {100, 7, 0, Cyclic},
+		{7, 3, 2, BlockCyclic}, {16, 2, 3, BlockCyclic}, {100, 7, 5, BlockCyclic},
+		{5, 8, 0, Block}, {5, 8, 0, Cyclic}, {5, 8, 3, BlockCyclic}, // more procs than elems
+	}
+	for _, s := range shapes {
+		d := mustNew(t, s.n, s.p, s.m, s.b)
+		seen := make(map[[2]int]bool)
+		total := 0
+		for i := 0; i < s.n; i++ {
+			r, l := d.Owner(i), d.LocalIndex(i)
+			if r < 0 || r >= s.p {
+				t.Fatalf("%v: Owner(%d)=%d out of range", d, i, r)
+			}
+			if l < 0 || l >= d.LocalCount(r) {
+				t.Fatalf("%v: LocalIndex(%d)=%d out of range [0,%d)", d, i, l, d.LocalCount(r))
+			}
+			key := [2]int{r, l}
+			if seen[key] {
+				t.Fatalf("%v: (rank,local)=(%d,%d) assigned twice", d, r, l)
+			}
+			seen[key] = true
+			if back := d.GlobalIndex(r, l); back != i {
+				t.Fatalf("%v: GlobalIndex(%d,%d)=%d, want %d", d, r, l, back, i)
+			}
+		}
+		for r := 0; r < s.p; r++ {
+			total += d.LocalCount(r)
+		}
+		if total != s.n {
+			t.Fatalf("%v: counts sum to %d, want %d", d, total, s.n)
+		}
+	}
+}
+
+// TestLocalIndexMonotone checks local order follows global order.
+func TestLocalIndexMonotone(t *testing.T) {
+	for _, m := range []Mode{Block, Cyclic, BlockCyclic} {
+		d := mustNew(t, 50, 4, m, 3)
+		last := make(map[int]int)
+		for r := range last {
+			last[r] = -1
+		}
+		for i := 0; i < 50; i++ {
+			r := d.Owner(i)
+			l := d.LocalIndex(i)
+			if prev, ok := last[r]; ok && l != prev+1 {
+				t.Fatalf("%v: rank %d local indices not consecutive: %d after %d", d, r, l, prev)
+			}
+			last[r] = l
+		}
+	}
+}
+
+// TestAlignedAgainstBruteForce cross-checks the general (aligned) path
+// against a brute-force reference.
+func TestAlignedAgainstBruteForce(t *testing.T) {
+	aligns := []Alignment{
+		{Offset: 0, Stride: 1},
+		{Offset: 3, Stride: 1},
+		{Offset: 0, Stride: 2},
+		{Offset: 1, Stride: 3},
+	}
+	for _, a := range aligns {
+		n := 12
+		templateN := a.Offset + a.Stride*(n-1) + 1
+		for _, m := range []Mode{Block, Cyclic, BlockCyclic} {
+			d, err := NewAligned(n, templateN, 3, m, 2, a)
+			if err != nil {
+				t.Fatalf("NewAligned(%v): %v", a, err)
+			}
+			// Reference: enumerate template cells.
+			for i := 0; i < n; i++ {
+				cell := a.Cell(i)
+				var want int
+				switch m {
+				case Block:
+					want = cell / ((templateN + 2) / 3)
+				case Cyclic:
+					want = cell % 3
+				case BlockCyclic:
+					want = (cell / 2) % 3
+				}
+				if got := d.Owner(i); got != want {
+					t.Errorf("%v Owner(%d) = %d, want %d", d, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSameLayout covers the fast path and a structural comparison.
+func TestSameLayout(t *testing.T) {
+	a := mustNew(t, 20, 4, Cyclic, 0)
+	b := mustNew(t, 20, 4, Cyclic, 0)
+	if !a.SameLayout(b) {
+		t.Error("identical distributions reported different")
+	}
+	// BLOCK_CYCLIC with blockSize 1 is element-wise identical to CYCLIC.
+	c := mustNew(t, 20, 4, BlockCyclic, 1)
+	if !a.SameLayout(c) {
+		t.Error("CYCLIC vs BLOCK_CYCLIC(1) should be the same layout")
+	}
+	d := mustNew(t, 20, 4, Block, 0)
+	if a.SameLayout(d) {
+		t.Error("CYCLIC vs BLOCK reported same")
+	}
+	e := mustNew(t, 20, 2, Cyclic, 0)
+	if a.SameLayout(e) {
+		t.Error("different nprocs reported same")
+	}
+	if a.SameLayout(nil) {
+		t.Error("nil comparison reported same")
+	}
+}
+
+// Property test: bijection holds for random shapes.
+func TestOwnershipBijectionQuick(t *testing.T) {
+	f := func(nSeed, pSeed, bSeed uint8, mSeed uint8) bool {
+		n := int(nSeed)%200 + 1
+		p := int(pSeed)%16 + 1
+		b := int(bSeed)%7 + 1
+		m := Mode(mSeed % 3)
+		d, err := New(n, p, m, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if d.GlobalIndex(d.Owner(i), d.LocalIndex(i)) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalElements(t *testing.T) {
+	d := mustNew(t, 10, 3, Cyclic, 0)
+	got := d.LocalElements(1)
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("LocalElements(1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LocalElements(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	d := mustNew(t, 10, 3, Block, 0)
+	for _, f := range []func(){
+		func() { d.Owner(-1) },
+		func() { d.Owner(10) },
+		func() { d.LocalCount(3) },
+		func() { d.GlobalIndex(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkOwnerCyclic(b *testing.B) {
+	d, _ := New(20000, 8, Cyclic, 0)
+	r := rand.New(rand.NewSource(1))
+	idx := make([]int, 1024)
+	for i := range idx {
+		idx[i] = r.Intn(20000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Owner(idx[i%len(idx)])
+	}
+}
+
+func TestExplicitOwnership(t *testing.T) {
+	owners := []int{2, 0, 1, 1, 0, 2, 2}
+	d, err := NewExplicit(owners, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range owners {
+		if got := d.Owner(i); got != o {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, o)
+		}
+	}
+	if d.LocalCount(0) != 2 || d.LocalCount(1) != 2 || d.LocalCount(2) != 3 {
+		t.Fatalf("counts = %d,%d,%d", d.LocalCount(0), d.LocalCount(1), d.LocalCount(2))
+	}
+	// Bijection.
+	for i := range owners {
+		if d.GlobalIndex(d.Owner(i), d.LocalIndex(i)) != i {
+			t.Fatalf("bijection broken at %d", i)
+		}
+	}
+	// Local order follows global order.
+	if got := d.LocalElements(2); got[0] != 0 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("LocalElements(2) = %v", got)
+	}
+	if d.Mode != Explicit {
+		t.Fatalf("Mode = %v", d.Mode)
+	}
+	if got := d.Owners(); len(got) != len(owners) || got[0] != 2 {
+		t.Fatalf("Owners() = %v", got)
+	}
+}
+
+func TestExplicitValidation(t *testing.T) {
+	if _, err := NewExplicit([]int{0, 3}, 3); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	if _, err := NewExplicit([]int{0}, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := New(4, 2, Explicit, 0); err == nil {
+		t.Error("New with Explicit mode accepted (must use NewExplicit)")
+	}
+}
+
+func TestExplicitSameLayout(t *testing.T) {
+	a, _ := NewExplicit([]int{0, 1, 0, 1}, 2)
+	b, _ := NewExplicit([]int{0, 1, 0, 1}, 2)
+	c, _ := New(4, 2, Cyclic, 0)
+	if !a.SameLayout(b) {
+		t.Error("identical explicit layouts reported different")
+	}
+	// {0,1,0,1} over 2 procs is element-wise exactly CYCLIC.
+	if !a.SameLayout(c) || !c.SameLayout(a) {
+		t.Error("explicit table equal to CYCLIC not recognized as same layout")
+	}
+	d, _ := NewExplicit([]int{1, 0, 0, 1}, 2)
+	if a.SameLayout(d) {
+		t.Error("different tables reported same")
+	}
+}
+
+func TestOwnersNilForPatterns(t *testing.T) {
+	d := mustNew(t, 8, 2, Block, 0)
+	if d.Owners() != nil {
+		t.Fatal("pattern distribution returned an owner table")
+	}
+}
+
+func TestNewBalanced(t *testing.T) {
+	// Heavily skewed weights: the first elements are 10x denser.
+	weights := make([]float64, 100)
+	for i := range weights {
+		if i < 20 {
+			weights[i] = 10
+		} else {
+			weights[i] = 1
+		}
+	}
+	d, err := NewBalanced(weights, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-rank weight within 2x of each other.
+	perRank := make([]float64, 4)
+	for i, w := range weights {
+		perRank[d.Owner(i)] += w
+	}
+	lo, hi := perRank[0], perRank[0]
+	for _, w := range perRank[1:] {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi > 2.2*lo {
+		t.Fatalf("weight imbalance: per-rank %v", perRank)
+	}
+	// Contiguity: owners are non-decreasing.
+	prev := 0
+	for i := 0; i < 100; i++ {
+		o := d.Owner(i)
+		if o < prev {
+			t.Fatalf("owners not contiguous at %d: %d after %d", i, o, prev)
+		}
+		prev = o
+	}
+}
+
+func TestNewBalancedZeroWeights(t *testing.T) {
+	d, err := NewBalanced(make([]float64, 12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if d.LocalCount(r) != 4 {
+			t.Fatalf("rank %d count %d, want 4 (count-balanced fallback)", r, d.LocalCount(r))
+		}
+	}
+	if _, err := NewBalanced([]float64{1, -1}, 2); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestBalancedEmpty(t *testing.T) {
+	d, err := NewBalanced(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 0 {
+		t.Fatalf("N = %d", d.N)
+	}
+}

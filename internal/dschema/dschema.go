@@ -1,0 +1,163 @@
+// Package dschema decodes d/stream element payloads generically, given a
+// textual description of the layout an application's inserters produced.
+// It powers cmd/ds2json, which exports any d/stream file to JSON for
+// external tools — the paper's §2 "communicating [results] to other
+// applications and tools" task without writing a Go reader.
+//
+// # Schema language
+//
+// A schema describes the payload of one record, one clause per interleaved
+// array (insert), clauses separated by ';'. Each clause is a
+// comma-separated list of name:type fields:
+//
+//	id:i64,mass:f64[],label:str ; density:f64
+//
+// Types: bool, i32, i64, u32, u64, f32, f64, str, bytes, and the
+// length-prefixed slices f64[] and i64[] — exactly the encodings the
+// dstream Encoder produces, so a schema is a transliteration of the
+// element type's StreamInsert body.
+package dschema
+
+import (
+	"fmt"
+	"strings"
+
+	"pcxxstreams/internal/enc"
+)
+
+// FieldType enumerates the decodable payload field kinds.
+type FieldType uint8
+
+// Field kinds, matching the dstream Encoder's methods.
+const (
+	Bool FieldType = iota
+	I32
+	I64
+	U32
+	U64
+	F32
+	F64
+	Str
+	Bytes
+	F64Slice
+	I64Slice
+)
+
+var typeNames = map[string]FieldType{
+	"bool": Bool, "i32": I32, "i64": I64, "u32": U32, "u64": U64,
+	"f32": F32, "f64": F64, "str": Str, "bytes": Bytes,
+	"f64[]": F64Slice, "i64[]": I64Slice,
+}
+
+// Field is one named value within an element payload.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema describes a whole record: one field list per interleaved array.
+type Schema struct {
+	Arrays [][]Field
+}
+
+// Parse reads the schema language.
+func Parse(s string) (*Schema, error) {
+	sch := &Schema{}
+	for ai, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("dschema: empty clause %d", ai)
+		}
+		var fields []Field
+		seen := map[string]bool{}
+		for fi, fieldSpec := range strings.Split(clause, ",") {
+			fieldSpec = strings.TrimSpace(fieldSpec)
+			name, typ, ok := strings.Cut(fieldSpec, ":")
+			if !ok {
+				return nil, fmt.Errorf("dschema: clause %d field %d: want name:type, got %q", ai, fi, fieldSpec)
+			}
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fmt.Errorf("dschema: clause %d field %d: empty name", ai, fi)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("dschema: clause %d: duplicate field %q", ai, name)
+			}
+			seen[name] = true
+			ft, ok := typeNames[strings.TrimSpace(typ)]
+			if !ok {
+				return nil, fmt.Errorf("dschema: clause %d field %q: unknown type %q", ai, name, typ)
+			}
+			fields = append(fields, Field{Name: name, Type: ft})
+		}
+		sch.Arrays = append(sch.Arrays, fields)
+	}
+	return sch, nil
+}
+
+// NArrays returns the number of interleaved arrays the schema describes.
+func (s *Schema) NArrays() int { return len(s.Arrays) }
+
+// DecodeArray decodes the arrayIdx-th insert's fields of one element from
+// d, in schema order. The returned map values are JSON-friendly (int64,
+// uint64, float64, bool, string, []float64, []int64, []byte).
+func (s *Schema) DecodeArray(d *enc.Reader, arrayIdx int) (map[string]any, error) {
+	if arrayIdx < 0 || arrayIdx >= len(s.Arrays) {
+		return nil, fmt.Errorf("dschema: array %d out of range [0,%d)", arrayIdx, len(s.Arrays))
+	}
+	out := make(map[string]any, len(s.Arrays[arrayIdx]))
+	for _, f := range s.Arrays[arrayIdx] {
+		var v any
+		switch f.Type {
+		case Bool:
+			v = d.Bool()
+		case I32:
+			v = int64(d.Int32())
+		case I64:
+			v = d.Int64()
+		case U32:
+			v = uint64(d.Uint32())
+		case U64:
+			v = d.Uint64()
+		case F32:
+			v = float64(d.Float32())
+		case F64:
+			v = d.Float64()
+		case Str:
+			v = d.String()
+		case Bytes:
+			v = d.Bytes32()
+		case F64Slice:
+			v = d.Float64Slice()
+		case I64Slice:
+			v = d.Int64Slice()
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("dschema: field %q: %w", f.Name, err)
+		}
+		out[f.Name] = v
+	}
+	return out, nil
+}
+
+// DecodeElement decodes a whole element payload (all arrays, interleaved
+// order) and reports an error if bytes remain undecoded — a schema that
+// does not match the payload exactly is rejected rather than silently
+// misread.
+func (s *Schema) DecodeElement(payload []byte) (map[string]any, error) {
+	d := enc.NewReader(payload)
+	out := map[string]any{}
+	for ai := range s.Arrays {
+		m, err := s.DecodeArray(d, ai)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("dschema: %d bytes of payload not covered by schema", d.Remaining())
+	}
+	return out, nil
+}

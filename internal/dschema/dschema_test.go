@@ -1,0 +1,118 @@
+package dschema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pcxxstreams/internal/enc"
+)
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse("id:i64, mass:f64[] , label:str; density:f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NArrays() != 2 {
+		t.Fatalf("NArrays = %d", s.NArrays())
+	}
+	if len(s.Arrays[0]) != 3 || s.Arrays[0][1].Name != "mass" || s.Arrays[0][1].Type != F64Slice {
+		t.Fatalf("clause 0 = %+v", s.Arrays[0])
+	}
+	if s.Arrays[1][0] != (Field{Name: "density", Type: F64}) {
+		t.Fatalf("clause 1 = %+v", s.Arrays[1])
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"id",            // no type
+		":i64",          // no name
+		"id:complex128", // unknown type
+		"a:i64;;b:f64",  // empty clause
+		"a:i64,a:f64",   // duplicate name
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDecodeElementAllTypes(t *testing.T) {
+	var e enc.Buffer
+	e.Bool(true)
+	e.Int32(-9)
+	e.Int64(1 << 40)
+	e.Uint32(7)
+	e.Uint64(1 << 50)
+	e.Float32(2.5)
+	e.Float64(3.75)
+	e.String("hello")
+	e.Bytes32([]byte{1, 2})
+	e.Float64Slice([]float64{1, 2, 3})
+	e.Int64Slice([]int64{-1, -2})
+
+	s, err := Parse("b:bool,i:i32,j:i64,u:u32,v:u64,f:f32,g:f64,s:str,raw:bytes,fs:f64[],is:i64[]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DecodeElement(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"b": true, "i": int64(-9), "j": int64(1 << 40),
+		"u": uint64(7), "v": uint64(1 << 50),
+		"f": 2.5, "g": 3.75, "s": "hello",
+		"raw": []byte{1, 2},
+		"fs":  []float64{1, 2, 3}, "is": []int64{-1, -2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestDecodeElementInterleaved(t *testing.T) {
+	// Two inserts: (count) then (value) — payload is their concatenation.
+	var e enc.Buffer
+	e.Int64(5)
+	e.Float64(0.25)
+	s, err := Parse("count:i64;value:f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DecodeElement(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["count"] != int64(5) || got["value"] != 0.25 {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	var e enc.Buffer
+	e.Int64(1)
+	e.Int64(2) // not covered by schema
+	s, _ := Parse("a:i64")
+	if _, err := s.DecodeElement(e.Bytes()); err == nil || !strings.Contains(err.Error(), "not covered") {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestDecodeRejectsShortPayload(t *testing.T) {
+	s, _ := Parse("a:i64,b:f64")
+	var e enc.Buffer
+	e.Int64(1) // b missing
+	if _, err := s.DecodeElement(e.Bytes()); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestDecodeArrayOutOfRange(t *testing.T) {
+	s, _ := Parse("a:i64")
+	if _, err := s.DecodeArray(enc.NewReader(nil), 1); err == nil {
+		t.Fatal("array index out of range accepted")
+	}
+}

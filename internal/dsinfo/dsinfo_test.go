@@ -1,0 +1,179 @@
+package dsinfo
+
+import (
+	"strings"
+	"testing"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/vtime"
+)
+
+type elem struct{ V []float64 }
+
+func (e *elem) StreamInsert(enc *dstream.Encoder)  { enc.Float64Slice(e.V) }
+func (e *elem) StreamExtract(dec *dstream.Decoder) { e.V = dec.Float64Slice() }
+
+// writeSample produces a two-record d/stream file and returns its image.
+func writeSample(t *testing.T, nprocs, n int) []byte {
+	t.Helper()
+	fs := pfs.NewMemFS(vtime.Challenge())
+	_, err := machine.Run(machine.Config{NProcs: nprocs, Profile: vtime.Challenge(), FS: fs},
+		func(nd *machine.Node) error {
+			d, err := distr.New(n, nprocs, distr.Cyclic, 0)
+			if err != nil {
+				return err
+			}
+			c, err := collection.New[elem](nd, d)
+			if err != nil {
+				return err
+			}
+			c.Apply(func(g int, e *elem) { e.V = make([]float64, g%5) })
+			s, err := dstream.Output(nd, d, "f")
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			if err := dstream.Insert[elem](s, c); err != nil {
+				return err
+			}
+			if err := s.Write(); err != nil {
+				return err
+			}
+			// Second record: two interleaved inserts.
+			if err := dstream.Insert[elem](s, c); err != nil {
+				return err
+			}
+			if err := dstream.Insert[elem](s, c); err != nil {
+				return err
+			}
+			return s.Write()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := fs.Image("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestParseWellFormedFile(t *testing.T) {
+	img := writeSample(t, 3, 10)
+	info, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Bytes != int64(len(img)) {
+		t.Fatalf("Bytes = %d, want %d", info.Bytes, len(img))
+	}
+	if len(info.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(info.Records))
+	}
+	r0, r1 := &info.Records[0], &info.Records[1]
+	if r0.Header.NArrays != 1 || r1.Header.NArrays != 2 {
+		t.Fatalf("NArrays = %d, %d; want 1, 2", r0.Header.NArrays, r1.Header.NArrays)
+	}
+	if r0.Dist.N != 10 || r0.Dist.NProcs != 3 || r0.Dist.Mode != distr.Cyclic {
+		t.Fatalf("record 0 dist = %v", r0.Dist)
+	}
+	// Record 1 interleaves the same data twice: exactly double the bytes.
+	if r1.TotalBytes() != 2*r0.TotalBytes() {
+		t.Fatalf("record 1 bytes %d, want 2× record 0's %d", r1.TotalBytes(), r0.TotalBytes())
+	}
+	// Element sizes vary (g%5 floats, length-prefixed).
+	if r0.MinSize() == r0.MaxSize() {
+		t.Fatalf("expected variable element sizes, got uniform %d", r0.MinSize())
+	}
+	if r0.Index != 0 || r1.Index != 1 {
+		t.Fatalf("indices %d, %d", r0.Index, r1.Index)
+	}
+}
+
+func TestElementRange(t *testing.T) {
+	img := writeSample(t, 2, 6)
+	info, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &info.Records[0]
+	// Ranges tile the data section exactly.
+	off := rec.DataOffset
+	for i := range rec.Sizes {
+		got, n, err := rec.ElementRange(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != off || n != int(rec.Sizes[i]) {
+			t.Fatalf("elem %d range (%d,%d), want (%d,%d)", i, got, n, off, rec.Sizes[i])
+		}
+		off += int64(n)
+	}
+	if off != rec.DataOffset+int64(rec.Header.DataBytes) {
+		t.Fatalf("ranges end at %d, want %d", off, rec.DataOffset+int64(rec.Header.DataBytes))
+	}
+	if _, _, err := rec.ElementRange(-1); err == nil {
+		t.Fatal("negative element accepted")
+	}
+	if _, _, err := rec.ElementRange(len(rec.Sizes)); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	img := writeSample(t, 2, 6)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"bad file magic", func(b []byte) []byte { b[0] = 'X'; return b }, "not a d/stream file"},
+		{"truncated header", func(b []byte) []byte { return b[:enc.FileHeaderLen+10] }, "truncated"},
+		{"bad record magic", func(b []byte) []byte { b[enc.FileHeaderLen] ^= 0xFF; return b }, "record"},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xAB) }, "truncated header"},
+		{"truncated data", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cp := append([]byte{}, img...)
+			if _, err := Parse(c.mutate(cp)); err == nil {
+				t.Fatalf("corruption accepted")
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseRejectsLyingSizeTable(t *testing.T) {
+	img := writeSample(t, 2, 6)
+	// Inflate the first element's size entry: sums no longer match header.
+	off := enc.FileHeaderLen + enc.RecordHeaderLen
+	img[off]++
+	if _, err := Parse(img); err == nil || !strings.Contains(err.Error(), "size table sums") {
+		t.Fatalf("err = %v, want size-table mismatch", err)
+	}
+}
+
+func TestParseEmptyFileWithHeaderOnly(t *testing.T) {
+	info, err := Parse(enc.EncodeFileHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != 0 {
+		t.Fatalf("records = %d", len(info.Records))
+	}
+}
+
+func TestMinSizeEmptyRecord(t *testing.T) {
+	r := Record{}
+	if r.MinSize() != 0 || r.MaxSize() != 0 || r.TotalBytes() != 0 {
+		t.Fatal("empty record stats nonzero")
+	}
+}

@@ -1,0 +1,74 @@
+package dstream
+
+import (
+	"bytes"
+	"testing"
+
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/vtime"
+)
+
+// TestBackendsProduceIdenticalImages runs the identical stream program
+// against the in-memory backend and the on-disk backend and asserts the
+// resulting file images are byte-equal — the DESIGN.md invariant that the
+// storage substitution is behaviour-preserving.
+func TestBackendsProduceIdenticalImages(t *testing.T) {
+	dir := t.TempDir()
+	memFS := pfs.NewMemFS(vtime.Paragon())
+	osFS := pfs.NewFileSystem(vtime.Paragon(), pfs.OSFactory(dir))
+
+	program := func(fs *pfs.FileSystem) machine.Result {
+		res, err := machine.Run(machine.Config{NProcs: 3, Profile: vtime.Paragon(), FS: fs},
+			func(n *machine.Node) error {
+				d, err := distr.New(14, 3, distr.Cyclic, 0)
+				if err != nil {
+					return err
+				}
+				if err := writePlists(n, d, "img", Options{}); err != nil {
+					return err
+				}
+				// Append a second record through a second stream on the
+				// same file to exercise reopen-without-truncate too? No:
+				// Output truncates; read instead to exercise both sides.
+				rd, err := distr.New(14, 3, distr.Block, 0)
+				if err != nil {
+					return err
+				}
+				_, err = readPlists(n, rd, "img", true)
+				return err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	resMem := program(memFS)
+	resOS := program(osFS)
+
+	memImg, err := memFS.Image("img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osImg, err := osFS.Image("img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memImg, osImg) {
+		t.Fatalf("file images differ: mem %d bytes, os %d bytes", len(memImg), len(osImg))
+	}
+	// Virtual time is also backend-independent (cost model only sees sizes
+	// and offsets).
+	for r := range resMem.NodeTimes {
+		if resMem.NodeTimes[r] != resOS.NodeTimes[r] {
+			t.Fatalf("rank %d virtual time differs by backend: %v vs %v",
+				r, resMem.NodeTimes[r], resOS.NodeTimes[r])
+		}
+	}
+	// And the op profiles match exactly.
+	if resMem.IO != resOS.IO {
+		t.Fatalf("op profiles differ:\nmem %+v\nos  %+v", resMem.IO, resOS.IO)
+	}
+}

@@ -1,0 +1,217 @@
+// Package dstream implements d/streams, the paper's central contribution: a
+// language-independent abstraction for buffered I/O on distributed arrays of
+// variable-sized objects (paper §3), realized here for Go collections the
+// way pC++/streams realized it for pC++ collections (paper §4).
+//
+// A d/stream is a buffer associated with a file. Data is inserted from
+// distributed collections into an output d/stream's per-node buffers and
+// written to the file with one parallel operation; an input d/stream reads a
+// record back — with read (element order restored, redistributing across
+// nodes when the processor count or distribution changed) or unsortedRead
+// (no ordering guarantee, no interprocessor communication) — and extracts it
+// into collections.
+//
+// # Primitive order (Figure 2 state machines)
+//
+//	output: open → insert⁺ → write → (insert⁺ → write)* → close
+//	input:  open → (read|unsortedRead) → extract* → … → close
+//
+// Illegal orders (write with nothing inserted, extract before a read, more
+// extracts than the record has arrays) are rejected at run time.
+//
+// # Interleaving
+//
+// Arrays inserted consecutively with no intervening write have their
+// elements interleaved in the file: the payloads of element i from every
+// insert of the group are contiguous. All collections inserted into one
+// group must be aligned (same layout) with the stream's distribution.
+//
+// # On-disk layout (Figure 4, §4.1)
+//
+//	file   := fileHeader record*
+//	record := recordHeader | sizeTable (node order) | data (node order)
+//
+// The metadata (distribution descriptor + per-element sizes) precedes the
+// data, so the input side needs nothing from the programmer: it reads the
+// paperwork, then the data, "regardless of differences in the number of
+// processors and distribution of the reading and writing arrays."
+package dstream
+
+import (
+	"errors"
+	"fmt"
+
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+)
+
+// Encoder is the typed buffer an element inserter fills (one per element).
+type Encoder = enc.Buffer
+
+// Decoder is the typed reader an element extractor drains.
+type Decoder = enc.Reader
+
+// Inserter is implemented by element types that can insert themselves —
+// the Go counterpart of the paper's insertion functions
+// (declareStreamInserter). Implementations append the element's fields,
+// including variable-sized ones, to e.
+type Inserter interface {
+	StreamInsert(e *Encoder)
+}
+
+// Extractor is the inverse of Inserter. Implementations decode exactly what
+// their StreamInsert encoded; decoding failures surface via d.Err and are
+// checked by the library after each element.
+type Extractor interface {
+	StreamExtract(d *Decoder)
+}
+
+// MetaPolicy selects how a record's metadata (header + size table) reaches
+// the file (§4.1 step 1).
+type MetaPolicy uint8
+
+const (
+	// MetaAuto funnels metadata through node 0 for small collections and
+	// writes it in parallel for large ones (the paper's heuristic).
+	MetaAuto MetaPolicy = iota
+	// MetaFunnel always gathers the size table to node 0, which writes it
+	// at the head of its per-node buffer — one parallel write total.
+	MetaFunnel
+	// MetaParallel always writes the metadata with its own parallel write.
+	MetaParallel
+)
+
+// DefaultFunnelThreshold is the element count below which MetaAuto funnels
+// metadata through node 0.
+const DefaultFunnelThreshold = 4096
+
+// Options tune a stream; the zero value gives the paper's defaults.
+type Options struct {
+	Meta            MetaPolicy
+	FunnelThreshold int // 0 means DefaultFunnelThreshold
+	// Strict enforces the full Figure 2 contract on input streams: every
+	// array of a record must be extracted before the next read or skip, and
+	// before close ("every extract must have a corresponding insert" in
+	// both directions). Off by default: the paper's interface permits a
+	// reader that stops early, losing the rest of the record.
+	Strict bool
+	// Append opens an output stream on an existing d/stream file and adds
+	// records after the ones already present, instead of truncating — the
+	// §2 "saving data-sets between application runs" pattern when one file
+	// accumulates the history of several runs. The file must already be a
+	// valid d/stream file.
+	Append bool
+	// Async turns output writes into write-behind operations: Write still
+	// rendezvouses (the group must agree on the record layout) but returns
+	// without waiting for the disk, so computation between writes overlaps
+	// the transfer. Close (or Drain) waits for everything to land. An
+	// extension beyond the paper's synchronous write primitive; the
+	// BenchmarkAblationAsyncOverlap bench quantifies it.
+	Async bool
+}
+
+func (o Options) funnelThreshold() int {
+	if o.FunnelThreshold <= 0 {
+		return DefaultFunnelThreshold
+	}
+	return o.FunnelThreshold
+}
+
+// Common errors.
+var (
+	// ErrClosed reports use of a closed stream.
+	ErrClosed = errors.New("dstream: stream closed")
+	// ErrNotAligned reports inserting/extracting a collection whose layout
+	// differs from the stream's distribution.
+	ErrNotAligned = errors.New("dstream: collection not aligned with stream distribution")
+	// ErrOrder reports a primitive called out of the legal order.
+	ErrOrder = errors.New("dstream: primitive out of order")
+)
+
+// stream holds the state shared by both directions.
+type stream struct {
+	node *machine.Node
+	dist *distr.Distribution
+	f    *pfs.File
+	name string
+	err  error // sticky
+}
+
+func (s *stream) fail(err error) error {
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+func (s *stream) checkOpen() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.f == nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// headerFor renders the record header (and descriptor section, for
+// EXPLICIT distributions) for this stream's distribution.
+func headerFor(d *distr.Distribution, nArrays int, dataBytes uint64) (enc.RecordHeader, []byte) {
+	var desc []byte
+	if d.Mode == distr.Explicit {
+		desc = enc.EncodeOwnerTable(d.Owners())
+	}
+	return enc.RecordHeader{
+		NArrays:     uint32(nArrays),
+		NElems:      uint32(d.N),
+		NProcs:      uint32(d.NProcs),
+		Mode:        uint8(d.Mode),
+		BlockSize:   uint32(d.BlockSize),
+		AlignOffset: int32(d.Align.Offset),
+		AlignStride: int32(d.Align.Stride),
+		TemplateN:   uint32(d.TemplateN),
+		DescBytes:   uint32(len(desc)),
+		DataBytes:   dataBytes,
+	}, desc
+}
+
+// distFromHeader reconstructs the writer's distribution from a record
+// header and its descriptor section — the information that lets read()
+// route every element to its new owner.
+func distFromHeader(h enc.RecordHeader, desc []byte) (*distr.Distribution, error) {
+	if distr.Mode(h.Mode) == distr.Explicit {
+		owners, err := enc.DecodeOwnerTable(desc, int(h.NElems))
+		if err != nil {
+			return nil, fmt.Errorf("dstream: record owner table: %w", err)
+		}
+		d, err := distr.NewExplicit(owners, int(h.NProcs))
+		if err != nil {
+			return nil, fmt.Errorf("dstream: record carries invalid distribution: %w", err)
+		}
+		return d, nil
+	}
+	d, err := distr.NewAligned(
+		int(h.NElems), int(h.TemplateN), int(h.NProcs),
+		distr.Mode(h.Mode), int(h.BlockSize),
+		distr.Alignment{Offset: int(h.AlignOffset), Stride: int(h.AlignStride)},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("dstream: record carries invalid distribution: %w", err)
+	}
+	return d, nil
+}
+
+// fileOrder returns, for each file position (writer node-block order), the
+// global element index stored there.
+func fileOrder(wdist *distr.Distribution) []int {
+	out := make([]int, 0, wdist.N)
+	for r := 0; r < wdist.NProcs; r++ {
+		n := wdist.LocalCount(r)
+		for l := 0; l < n; l++ {
+			out = append(out, wdist.GlobalIndex(r, l))
+		}
+	}
+	return out
+}

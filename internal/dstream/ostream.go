@@ -1,0 +1,287 @@
+package dstream
+
+import (
+	"fmt"
+
+	"pcxxstreams/internal/collective"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/machine"
+)
+
+// OStream is an output d/stream: a per-node buffer bound to a file, into
+// which aligned collections are inserted and then written with one parallel
+// operation per record. Declare one per distribution/alignment, as in the
+// paper: `oStream s(&d, &a, "wholeGridFile")`.
+type OStream struct {
+	stream
+	opts Options
+	// group is the current interleave group: one entry per insert since
+	// the last write; each entry holds the encoded payload of every local
+	// element, in local order.
+	group [][][]byte
+	wrote int // records written
+	// pending is the completion time of the latest asynchronous write; the
+	// clock must reach it before the stream's data is durable.
+	pending float64
+}
+
+// Output opens an output d/stream for collections distributed by d, backed
+// by the named file, with default options.
+func Output(node *machine.Node, d *distr.Distribution, name string) (*OStream, error) {
+	return OutputOpts(node, d, name, Options{})
+}
+
+// OutputOpts opens an output d/stream with explicit options. Every node of
+// the machine must make the matching call (open is collective).
+func OutputOpts(node *machine.Node, d *distr.Distribution, name string, opts Options) (*OStream, error) {
+	if d.NProcs != node.Size() {
+		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
+	}
+	f, err := node.Open(name, !opts.Append)
+	if err != nil {
+		return nil, fmt.Errorf("dstream: open output %q: %w", name, err)
+	}
+	s := &OStream{
+		stream: stream{node: node, dist: d, f: f, name: name},
+		opts:   opts,
+	}
+	// Node 0 stamps (or, in append mode, validates) the file header; the
+	// control sync both orders that before any parallel append and models
+	// the PFS open synchronization.
+	if opts.Append {
+		// Node 0 validates the existing header and broadcasts the verdict,
+		// so a bad file fails every node together instead of leaving peers
+		// waiting at the open rendezvous.
+		verdict := []byte{1}
+		if node.Rank() == 0 {
+			hdr := make([]byte, enc.FileHeaderLen)
+			if err := f.ReadAt(hdr, 0); err != nil {
+				verdict = []byte(err.Error())
+			} else if err := enc.CheckFileHeader(hdr); err != nil {
+				verdict = []byte(err.Error())
+			}
+		}
+		verdict, err := node.Comm().Bcast(0, verdict)
+		if err != nil {
+			f.Close()
+			return nil, s.fail(fmt.Errorf("dstream: append open sync: %w", err))
+		}
+		if len(verdict) != 1 || verdict[0] != 1 {
+			f.Close()
+			return nil, s.fail(fmt.Errorf("dstream: append to %q: %s", name, verdict))
+		}
+	} else if node.Rank() == 0 {
+		if err := f.WriteAt(enc.EncodeFileHeader(), 0); err != nil {
+			f.Close()
+			return nil, s.fail(fmt.Errorf("dstream: write file header: %w", err))
+		}
+	}
+	if err := f.ControlSync(); err != nil {
+		f.Close()
+		return nil, s.fail(fmt.Errorf("dstream: open sync: %w", err))
+	}
+	return s, nil
+}
+
+// LocalLen returns the number of elements this node contributes per insert.
+func (s *OStream) LocalLen() int { return s.dist.LocalCount(s.node.Rank()) }
+
+// Pending returns the number of inserts in the current interleave group.
+func (s *OStream) Pending() int { return len(s.group) }
+
+// Records returns the number of records written so far.
+func (s *OStream) Records() int { return s.wrote }
+
+// FileSize returns the current byte length of the underlying file image
+// (header plus all committed records). Checkpoint managers use it to seal
+// commit markers.
+func (s *OStream) FileSize() int64 {
+	if s.f == nil {
+		return 0
+	}
+	return s.f.Size()
+}
+
+// InsertFunc is the low-level insert primitive: fill is called once per
+// locally owned element, in local order, and appends that element's payload
+// to the encoder. The generic helpers (Insert, InsertField, …) are built on
+// it. Inserting charges the per-element pointer-list traversal cost of
+// Figure 4.
+func (s *OStream) InsertFunc(fill func(local int, e *Encoder)) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	n := s.LocalLen()
+	arr := make([][]byte, n)
+	var e Encoder
+	for l := 0; l < n; l++ {
+		e.Reset()
+		fill(l, &e)
+		p := make([]byte, e.Len())
+		copy(p, e.Bytes())
+		arr[l] = p
+	}
+	s.group = append(s.group, arr)
+	s.node.Compute(float64(n) * s.node.Profile().PerElemCost)
+	return nil
+}
+
+// Write flushes the current interleave group as one record (§4.1): the
+// per-element pointer lists are traversed, data is packed into the per-node
+// buffer, the metadata (distribution descriptor and per-element sizes) is
+// placed ahead of the data — through node 0 for small collections, with a
+// parallel write for large ones — and the data is written with one parallel
+// operation in node order.
+func (s *OStream) Write() error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if len(s.group) == 0 {
+		return s.fail(fmt.Errorf("%w: write with no pending inserts", ErrOrder))
+	}
+	nArrays := len(s.group)
+	nLocal := s.LocalLen()
+
+	// Per-element sizes (local order) with the group's arrays interleaved.
+	localSizes := make([]uint32, nLocal)
+	var localBytes int
+	for _, arr := range s.group {
+		for l, p := range arr {
+			localSizes[l] += uint32(len(p))
+			localBytes += len(p)
+		}
+	}
+	// Pack the per-node data buffer: element-major, interleaving the
+	// group's arrays (Figure 4's pointer-list traversal).
+	data := make([]byte, 0, localBytes)
+	for l := 0; l < nLocal; l++ {
+		for _, arr := range s.group {
+			data = append(data, arr[l]...)
+		}
+	}
+	s.node.CopyCost(int64(localBytes) + int64(4*nLocal))
+	s.group = nil
+
+	funnel := s.opts.Meta == MetaFunnel ||
+		(s.opts.Meta == MetaAuto && s.dist.N < s.opts.funnelThreshold())
+
+	if funnel {
+		if err := s.writeFunnel(nArrays, localSizes, data); err != nil {
+			return s.fail(err)
+		}
+	} else {
+		if err := s.writeParallel(nArrays, localSizes, data); err != nil {
+			return s.fail(err)
+		}
+	}
+	s.wrote++
+	return nil
+}
+
+// writeFunnel gathers the size table to node 0, which writes the record
+// header and the whole table at the head of its per-node block; one
+// parallel append moves everything (§4.1: "collected into node zero and
+// placed at the head of the per-node buffer on that node so that it can be
+// written with the actual data").
+func (s *OStream) writeFunnel(nArrays int, localSizes []uint32, data []byte) error {
+	comm := s.node.Comm()
+	parts, err := comm.Gather(0, enc.EncodeSizeTable(localSizes))
+	if err != nil {
+		return fmt.Errorf("dstream: gather sizes: %w", err)
+	}
+	var block []byte
+	if s.node.Rank() == 0 {
+		var allSizes []byte
+		for _, p := range parts {
+			allSizes = append(allSizes, p...)
+		}
+		sizes, derr := enc.DecodeSizeTable(allSizes, s.dist.N)
+		if derr != nil {
+			return fmt.Errorf("dstream: reassemble size table: %w", derr)
+		}
+		var total uint64
+		for _, sz := range sizes {
+			total += uint64(sz)
+		}
+		h, desc := headerFor(s.dist, nArrays, total)
+		block = append(h.Encode(), desc...)
+		block = append(block, allSizes...)
+		block = append(block, data...)
+	} else {
+		block = data
+	}
+	if err := s.appendRecordBlock(block, "funnel append"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendRecordBlock moves one per-node block to the file, synchronously or
+// write-behind per Options.Async.
+func (s *OStream) appendRecordBlock(block []byte, what string) error {
+	if s.opts.Async {
+		_, completion, err := s.f.ParallelAppendAsync(block)
+		if err != nil {
+			return fmt.Errorf("dstream: %s: %w", what, err)
+		}
+		if completion > s.pending {
+			s.pending = completion
+		}
+		return nil
+	}
+	if _, err := s.f.ParallelAppend(block); err != nil {
+		return fmt.Errorf("dstream: %s: %w", what, err)
+	}
+	return nil
+}
+
+// Drain blocks (in virtual time) until every asynchronous write has landed
+// on disk. A no-op for synchronous streams.
+func (s *OStream) Drain() {
+	s.node.Clock().SyncTo(s.pending)
+}
+
+// writeParallel writes the metadata section with its own parallel append
+// (node 0 prefixes the record header to its slice of the size table), then
+// the data section with a second parallel append.
+func (s *OStream) writeParallel(nArrays int, localSizes []uint32, data []byte) error {
+	comm := s.node.Comm()
+	total, err := comm.Allreduce(float64(len(data)), collective.OpSum)
+	if err != nil {
+		return fmt.Errorf("dstream: sum data bytes: %w", err)
+	}
+	meta := enc.EncodeSizeTable(localSizes)
+	if s.node.Rank() == 0 {
+		h, desc := headerFor(s.dist, nArrays, uint64(total))
+		meta = append(append(h.Encode(), desc...), meta...)
+	}
+	if _, err := s.f.ParallelAppend(meta); err != nil {
+		return fmt.Errorf("dstream: meta append: %w", err)
+	}
+	return s.appendRecordBlock(data, "data append")
+}
+
+// Close releases the stream. As in pC++/streams, where close lives in the
+// d/stream destructor, Close is idempotent and safe to defer.
+func (s *OStream) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	s.Drain()
+	err := s.f.Close()
+	s.f = nil
+	if len(s.group) > 0 {
+		// Data inserted but never written is lost; surface it.
+		if err == nil {
+			err = fmt.Errorf("%w: close with %d unwritten inserts", ErrOrder, len(s.group))
+		}
+	}
+	return err
+}
+
+// Node returns the owning node.
+func (s *OStream) Node() *machine.Node { return s.node }
+
+// Dist returns the stream's distribution.
+func (s *OStream) Dist() *distr.Distribution { return s.dist }

@@ -1,0 +1,228 @@
+// Package enc defines the d/stream binary encodings: the little-endian
+// typed buffer encoder/decoder used by element inserters and extractors,
+// and the on-disk record header carrying the distribution and per-element
+// size information the library stores ahead of the data (paper §4.1:
+// "Information about the distribution ... and about the size of the data to
+// be output from each element needs to be written to the file prior to the
+// actual data").
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Buffer is an append-only typed encoder. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the encoded bytes (aliasing the internal buffer).
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset clears the buffer, retaining capacity.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
+
+// Uint32 appends v.
+func (e *Buffer) Uint32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+
+// Uint64 appends v.
+func (e *Buffer) Uint64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+
+// Int32 appends v.
+func (e *Buffer) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Int64 appends v.
+func (e *Buffer) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool appends v as one byte.
+func (e *Buffer) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Float64 appends v.
+func (e *Buffer) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Float32 appends v.
+func (e *Buffer) Float32(v float32) { e.Uint32(math.Float32bits(v)) }
+
+// Raw appends p verbatim.
+func (e *Buffer) Raw(p []byte) { e.b = append(e.b, p...) }
+
+// Bytes32 appends p with a u32 length prefix.
+func (e *Buffer) Bytes32(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.Raw(p)
+}
+
+// String appends s with a u32 length prefix.
+func (e *Buffer) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Float64Slice appends a u32 length prefix followed by the values.
+func (e *Buffer) Float64Slice(v []float64) {
+	e.Uint32(uint32(len(v)))
+	for _, x := range v {
+		e.Float64(x)
+	}
+}
+
+// Int64Slice appends a u32 length prefix followed by the values.
+func (e *Buffer) Int64Slice(v []int64) {
+	e.Uint32(uint32(len(v)))
+	for _, x := range v {
+		e.Int64(x)
+	}
+}
+
+// ErrShort reports a decode past the end of the buffer.
+var ErrShort = errors.New("enc: short buffer")
+
+// Reader is a sequential typed decoder with sticky error state: after the
+// first failure every further Get returns the zero value and Err() reports
+// the failure, so extractors can decode unconditionally and check once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader decodes from b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Reader) Err() error { return d.err }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Reader) Remaining() int { return len(d.b) - d.off }
+
+// Offset returns the current read position.
+func (d *Reader) Offset() int { return d.off }
+
+func (d *Reader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShort, n, d.off, len(d.b))
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+// Uint32 decodes a u32.
+func (d *Reader) Uint32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// Uint64 decodes a u64.
+func (d *Reader) Uint64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// Int32 decodes an i32.
+func (d *Reader) Int32() int32 { return int32(d.Uint32()) }
+
+// Int64 decodes an i64.
+func (d *Reader) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes one byte as a bool.
+func (d *Reader) Bool() bool {
+	p := d.take(1)
+	return p != nil && p[0] != 0
+}
+
+// Float64 decodes an f64.
+func (d *Reader) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Float32 decodes an f32.
+func (d *Reader) Float32() float32 { return math.Float32frombits(d.Uint32()) }
+
+// Raw decodes n raw bytes (aliasing the underlying buffer).
+func (d *Reader) Raw(n int) []byte { return d.take(n) }
+
+// Bytes32 decodes a u32-length-prefixed byte slice (copied).
+func (d *Reader) Bytes32() []byte {
+	n := int(d.Uint32())
+	p := d.take(n)
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// String decodes a u32-length-prefixed string.
+func (d *Reader) String() string {
+	n := int(d.Uint32())
+	p := d.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Float64Slice decodes a u32-length-prefixed []float64.
+func (d *Reader) Float64Slice() []float64 {
+	n := int(d.Uint32())
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		out = append(out, d.Float64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Int64Slice decodes a u32-length-prefixed []int64.
+func (d *Reader) Int64Slice() []int64 {
+	n := int(d.Uint32())
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		out = append(out, d.Int64())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+// Package machine assembles the simulated multicomputer: N nodes, each a
+// goroutine with its own virtual clock, a message-passing endpoint, the
+// collective communicator, and a handle on the shared parallel file system.
+// It plays the role of the Paragon/CM-5/Challenge hardware plus the pC++
+// runtime's Processors object: machine.Run(cfg, body) is the moral
+// equivalent of the paper's Processor_Main.
+package machine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"pcxxstreams/internal/collective"
+	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/trace"
+	"pcxxstreams/internal/vtime"
+)
+
+// TransportKind selects how nodes exchange messages.
+type TransportKind uint8
+
+const (
+	// TransportChan uses in-process queues (the default; fastest).
+	TransportChan TransportKind = iota
+	// TransportTCP uses real loopback TCP sockets.
+	TransportTCP
+)
+
+// Config describes one machine run.
+type Config struct {
+	NProcs    int
+	Profile   vtime.Profile
+	Transport TransportKind
+	// FS is the parallel file system the nodes mount. If nil, a fresh
+	// in-memory file system with the run's profile is created.
+	FS *pfs.FileSystem
+	// Trace, when non-nil, records the virtual-time interval of every file
+	// system operation of the run.
+	Trace *trace.Recorder
+	// Collectives selects the collective algorithm (Linear by default;
+	// Tree scales to large node counts).
+	Collectives collective.Algorithm
+}
+
+// Node is one rank's execution context, passed to the SPMD body.
+type Node struct {
+	rank  int
+	size  int
+	clock vtime.Clock
+	ep    *comm.Endpoint
+	coll  *collective.Comm
+	fs    *pfs.FileSystem
+	prof  vtime.Profile
+}
+
+// Rank returns this node's rank in [0, Size()).
+func (n *Node) Rank() int { return n.rank }
+
+// Size returns the number of nodes in the machine.
+func (n *Node) Size() int { return n.size }
+
+// Clock returns the node's virtual clock.
+func (n *Node) Clock() *vtime.Clock { return &n.clock }
+
+// Comm returns the node's collective communicator (point-to-point available
+// via Comm().Endpoint()).
+func (n *Node) Comm() *collective.Comm { return n.coll }
+
+// FS returns the machine's parallel file system.
+func (n *Node) FS() *pfs.FileSystem { return n.fs }
+
+// Profile returns the platform cost profile.
+func (n *Node) Profile() vtime.Profile { return n.prof }
+
+// Open opens a parallel file on this node (every node must open the file to
+// use its collective operations).
+func (n *Node) Open(name string, trunc bool) (*pfs.File, error) {
+	return n.fs.Open(name, n.size, n.rank, &n.clock, trunc)
+}
+
+// Compute charges d virtual seconds of local computation.
+func (n *Node) Compute(d float64) { n.clock.Advance(d) }
+
+// CopyCost charges the memory-copy time for b bytes at the platform's copy
+// bandwidth (the cost of packing data into per-node buffers).
+func (n *Node) CopyCost(b int64) {
+	n.clock.Advance(vtime.TransferTime(b, n.prof.MemCopyBW))
+}
+
+// Result summarizes one machine run.
+type Result struct {
+	// NodeTimes holds each node's final virtual clock.
+	NodeTimes []float64
+	// Elapsed is the run's virtual makespan: the maximum node time.
+	Elapsed float64
+	// MessagesSent and BytesSent aggregate point-to-point traffic across
+	// all nodes (collectives included — they are built from messages).
+	MessagesSent int
+	BytesSent    int64
+	// IO snapshots the file system's operation counters at run end. Note
+	// that a shared FileSystem accumulates across runs; use the FileSystem's
+	// ResetStats between phases for per-phase numbers.
+	IO pfs.IOStats
+}
+
+// Run executes body on every node of a machine described by cfg and waits
+// for all nodes to finish. The first node error (or panic, converted to an
+// error) aborts the run's result; remaining goroutines are still waited for
+// so no node leaks.
+func Run(cfg Config, body func(*Node) error) (Result, error) {
+	if cfg.NProcs <= 0 {
+		return Result{}, fmt.Errorf("machine: NProcs must be positive, got %d", cfg.NProcs)
+	}
+	var tr comm.Transport
+	switch cfg.Transport {
+	case TransportChan:
+		tr = comm.NewChanTransport(cfg.NProcs)
+	case TransportTCP:
+		var err error
+		tr, err = comm.NewTCPTransport(cfg.NProcs)
+		if err != nil {
+			return Result{}, fmt.Errorf("machine: %w", err)
+		}
+	default:
+		return Result{}, fmt.Errorf("machine: unknown transport %d", cfg.Transport)
+	}
+	defer tr.Close()
+
+	fs := cfg.FS
+	if fs == nil {
+		fs = pfs.NewMemFS(cfg.Profile)
+	}
+	// A previous run on this file system may have been aborted (a node
+	// failed); re-arm it so this run's collectives work.
+	fs.ResetAbort()
+	if cfg.Trace != nil {
+		fs.SetRecorder(cfg.Trace)
+	}
+
+	nodes := make([]*Node, cfg.NProcs)
+	errs := make([]error, cfg.NProcs)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.NProcs; r++ {
+		n := &Node{rank: r, size: cfg.NProcs, fs: fs, prof: cfg.Profile}
+		n.ep = comm.NewEndpoint(r, cfg.NProcs, tr, &n.clock, cfg.Profile)
+		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives)
+		nodes[r] = n
+	}
+	for r := 0; r < cfg.NProcs; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("machine: node %d panicked: %v\n%s", r, p, debug.Stack())
+				}
+				if errs[r] != nil {
+					// Unblock peers stuck in message receives or in file
+					// system rendezvous waiting for this rank.
+					fs.Abort(errs[r])
+					tr.Close()
+				}
+			}()
+			errs[r] = body(nodes[r])
+		}()
+	}
+	wg.Wait()
+
+	res := Result{NodeTimes: make([]float64, cfg.NProcs), IO: fs.Stats()}
+	for r, n := range nodes {
+		res.NodeTimes[r] = n.clock.Now()
+		if res.NodeTimes[r] > res.Elapsed {
+			res.Elapsed = res.NodeTimes[r]
+		}
+		sent, _, bytes := n.ep.Stats()
+		res.MessagesSent += sent
+		res.BytesSent += bytes
+	}
+	for r, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("machine: node %d: %w", r, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+// Package manualbuf is the second baseline of the paper's evaluation
+// (§4.3): manually buffered I/O, the fastest hand-coded variant. Each node
+// packs all of its segments into one buffer and moves it with a single
+// parallel operation — "storing no element size or distribution information
+// in the file", because "a programmer using manual buffering with operating
+// system primitives might not store as much per-element information in the
+// file as pC++/streams" when sizes are fixed or computable.
+//
+// The final row of every table in the paper reports pC++/streams as a
+// percentage of this baseline, so its cost structure (one copy, one
+// parallel write, zero metadata) is the yardstick.
+package manualbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+)
+
+func packSegment(buf []byte, s *scf.Segment) []byte {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(s.NumberOfParticles))
+	buf = append(buf, scratch[:]...)
+	for _, arr := range [][]float64{s.X, s.Y, s.Z, s.VX, s.VY, s.VZ, s.Mass} {
+		for _, v := range arr {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	return buf
+}
+
+func unpackSegment(b []byte, particles int) (scf.Segment, []byte) {
+	var s scf.Segment
+	s.NumberOfParticles = int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	fields := [7]*[]float64{&s.X, &s.Y, &s.Z, &s.VX, &s.VY, &s.VZ, &s.Mass}
+	for _, fp := range fields {
+		arr := make([]float64, particles)
+		for i := range arr {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		*fp = arr
+		b = b[8*particles:]
+	}
+	return s, b
+}
+
+// WriteSegments packs the locally owned segments into one per-node buffer
+// and writes all node buffers with a single synchronized parallel
+// operation, in node order. No metadata is stored.
+func WriteSegments(node *machine.Node, c *collection.Collection[scf.Segment], name string, particles int) error {
+	f, err := node.Open(name, true)
+	if err != nil {
+		return fmt.Errorf("manualbuf: %w", err)
+	}
+	defer f.Close()
+
+	segBytes := scf.RawBytes(particles)
+	buf := make([]byte, 0, int64(c.LocalLen())*segBytes)
+	var perr error
+	c.Apply(func(g int, s *scf.Segment) {
+		if int(s.NumberOfParticles) != particles {
+			perr = fmt.Errorf("manualbuf: segment %d has %d particles, expected %d",
+				g, s.NumberOfParticles, particles)
+			return
+		}
+		buf = packSegment(buf, s)
+	})
+	if perr != nil {
+		return perr
+	}
+	node.CopyCost(int64(len(buf)))
+	if _, err := f.ParallelAppend(buf); err != nil {
+		return fmt.Errorf("manualbuf: %w", err)
+	}
+	return nil
+}
+
+// ReadSegments reads each node's block back with one synchronized parallel
+// read and unpacks it. The byte ranges are computed from the fixed segment
+// size and the distribution — the programmer's knowledge replacing the
+// metadata pC++/streams would have stored.
+func ReadSegments(node *machine.Node, c *collection.Collection[scf.Segment], name string, particles int) error {
+	f, err := node.Open(name, false)
+	if err != nil {
+		return fmt.Errorf("manualbuf: %w", err)
+	}
+	defer f.Close()
+
+	segBytes := scf.RawBytes(particles)
+	d := c.Dist()
+	var off int64
+	for r := 0; r < node.Rank(); r++ {
+		off += int64(d.LocalCount(r)) * segBytes
+	}
+	length := int64(c.LocalLen()) * segBytes
+	block, err := f.ParallelRead(pfs.Range{Off: off, Len: int(length)})
+	if err != nil {
+		return fmt.Errorf("manualbuf: %w", err)
+	}
+	node.CopyCost(length)
+
+	rest := block
+	local := c.Local()
+	for l := range local {
+		local[l], rest = unpackSegment(rest, particles)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("manualbuf: %d trailing bytes after unpack", len(rest))
+	}
+	return nil
+}

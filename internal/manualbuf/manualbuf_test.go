@@ -1,0 +1,102 @@
+package manualbuf
+
+import (
+	"fmt"
+	"testing"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+func TestRoundTrip(t *testing.T) {
+	const particles = 13
+	fs := pfs.NewMemFS(vtime.Challenge())
+	_, err := machine.Run(machine.Config{NProcs: 4, Profile: vtime.Challenge(), FS: fs},
+		func(n *machine.Node) error {
+			d, _ := distr.New(18, 4, distr.BlockCyclic, 2)
+			c, err := collection.New[scf.Segment](n, d)
+			if err != nil {
+				return err
+			}
+			c.Apply(func(g int, s *scf.Segment) { s.Fill(g, particles) })
+			if err := WriteSegments(n, c, "mb", particles); err != nil {
+				return err
+			}
+			back, err := collection.New[scf.Segment](n, d)
+			if err != nil {
+				return err
+			}
+			if err := ReadSegments(n, back, "mb", particles); err != nil {
+				return err
+			}
+			var bad error
+			back.Apply(func(g int, s *scf.Segment) {
+				var want scf.Segment
+				want.Fill(g, particles)
+				if !s.Equal(&want) {
+					bad = fmt.Errorf("global %d mismatch", g)
+				}
+			})
+			return bad
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := fs.Image("mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No metadata: file is exactly the packed payload.
+	if int64(len(img)) != 18*scf.RawBytes(particles) {
+		t.Fatalf("file is %d bytes, want %d (dense, zero metadata)", len(img), 18*scf.RawBytes(particles))
+	}
+}
+
+func TestRejectsWrongParticleCount(t *testing.T) {
+	fs := pfs.NewMemFS(vtime.Challenge())
+	_, err := machine.Run(machine.Config{NProcs: 1, Profile: vtime.Challenge(), FS: fs},
+		func(n *machine.Node) error {
+			d, _ := distr.New(2, 1, distr.Block, 0)
+			c, err := collection.New[scf.Segment](n, d)
+			if err != nil {
+				return err
+			}
+			c.Apply(func(g int, s *scf.Segment) { s.Fill(g, 3) })
+			return WriteSegments(n, c, "mb", 8)
+		})
+	if err == nil {
+		t.Fatal("mismatched particle count accepted")
+	}
+}
+
+// TestFasterThanUnbufferedShape: manual buffering must beat per-field OS
+// calls by a wide margin at benchmark scale — the core claim the paper's
+// final rows quantify.
+func TestSingleParallelOp(t *testing.T) {
+	const particles = scf.DefaultParticles
+	prof := vtime.Paragon()
+	fs := pfs.NewMemFS(prof)
+	res, err := machine.Run(machine.Config{NProcs: 4, Profile: prof, FS: fs},
+		func(n *machine.Node) error {
+			d, _ := distr.New(256, 4, distr.Cyclic, 0)
+			c, err := collection.New[scf.Segment](n, d)
+			if err != nil {
+				return err
+			}
+			c.Apply(func(g int, s *scf.Segment) { s.Fill(g, particles) })
+			n.Clock().Reset()
+			return WriteSegments(n, c, "mb", particles)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One parallel append of ~1.4 MB on the paragon profile: well under a
+	// second of disk time plus fixed costs — sanity-bound it.
+	if res.Elapsed > 2.0 {
+		t.Fatalf("single-op write took %v virtual seconds", res.Elapsed)
+	}
+}

@@ -1,0 +1,471 @@
+package pfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"pcxxstreams/internal/trace"
+	"pcxxstreams/internal/vtime"
+)
+
+// FileSystem is one simulated parallel file system instance. Create one per
+// machine run; handles from different nodes share the same file images and
+// the same disk timing state.
+type FileSystem struct {
+	mu      sync.Mutex
+	prof    vtime.Profile
+	factory BackendFactory
+	files   map[string]*file
+
+	abort    chan struct{}
+	abortErr error
+
+	counters ioCounters
+	rec      *trace.Recorder
+}
+
+// NewFileSystem builds a file system with the given cost profile and
+// storage factory.
+func NewFileSystem(prof vtime.Profile, factory BackendFactory) *FileSystem {
+	return &FileSystem{
+		prof:    prof,
+		factory: factory,
+		files:   make(map[string]*file),
+		abort:   make(chan struct{}),
+	}
+}
+
+// ResetAbort re-arms a file system whose previous machine run was aborted,
+// so a later run (e.g. a restart after a simulated crash) can use the same
+// file images. It also clears rendezvous state left behind by nodes that
+// died mid-collective. A FileSystem supports one machine run at a time;
+// the machine runner calls this at the start of each run.
+func (fs *FileSystem) ResetAbort() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	select {
+	case <-fs.abort:
+		fs.abort = make(chan struct{})
+		fs.abortErr = nil
+		for _, f := range fs.files {
+			f.mu.Lock()
+			f.rdvs = make(map[uint64]*rendezvous)
+			f.refs = 0
+			f.mayTrunc = true
+			f.mu.Unlock()
+		}
+	default:
+	}
+}
+
+// Abort wakes every node blocked in a collective file operation with err.
+// The machine runner calls it when a node fails, so surviving nodes cannot
+// deadlock waiting for a peer that will never arrive at the rendezvous.
+func (fs *FileSystem) Abort(err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	select {
+	case <-fs.abort:
+	default:
+		if err == nil {
+			err = fmt.Errorf("pfs: aborted")
+		}
+		fs.abortErr = err
+		close(fs.abort)
+	}
+}
+
+// NewMemFS is shorthand for an in-memory file system.
+func NewMemFS(prof vtime.Profile) *FileSystem {
+	return NewFileSystem(prof, MemFactory())
+}
+
+// Profile returns the cost profile of the file system.
+func (fs *FileSystem) Profile() vtime.Profile { return fs.prof }
+
+// SetRecorder attaches a trace recorder; every subsequent I/O operation
+// records its virtual interval. Set before a machine run starts; nil
+// disables tracing.
+func (fs *FileSystem) SetRecorder(r *trace.Recorder) { fs.rec = r }
+
+// file is the shared per-name state.
+type file struct {
+	mu   sync.Mutex
+	name string
+	b    Backend
+	d    *disk
+	refs int
+	// mayTrunc guards truncate-on-open: a fresh open generation (no opens
+	// since the refcount last reached zero) may truncate exactly once, so a
+	// node opening late cannot wipe data an early opener already wrote.
+	mayTrunc bool
+	rdvs     map[uint64]*rendezvous
+}
+
+// rendezvous synchronizes one collective operation across the group. The
+// last arrival executes the operation; everyone leaves with the same
+// completion time.
+type rendezvous struct {
+	arrived    int
+	arrivals   []float64
+	blocks     [][]byte
+	ranges     []Range
+	done       chan struct{}
+	completion float64
+	offsets    []int64
+	data       [][]byte
+	err        error
+}
+
+// Range is one node's contribution to a ParallelRead: read Len bytes at Off.
+type Range struct {
+	Off int64
+	Len int
+}
+
+// File is one node's handle on a parallel file. Methods must be called only
+// from the owning node's goroutine; collective methods must be called by
+// every node of the group in the same order.
+type File struct {
+	fs     *FileSystem
+	f      *file
+	rank   int
+	nprocs int
+	clock  *vtime.Clock
+	seq    uint64
+	closed bool
+}
+
+// Open returns rank's handle on the named file in a group of nprocs nodes,
+// charging the platform's open latency. If trunc is true the file image is
+// cleared by the first opener of the current open generation.
+func (fs *FileSystem) Open(name string, nprocs, rank int, clock *vtime.Clock, trunc bool) (*File, error) {
+	if nprocs <= 0 || rank < 0 || rank >= nprocs {
+		return nil, fmt.Errorf("pfs: open %q: bad rank %d of %d", name, rank, nprocs)
+	}
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if !ok {
+		b, err := fs.factory(name)
+		if err != nil {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("pfs: open %q: %w", name, err)
+		}
+		f = &file{name: name, b: b, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		fs.files[name] = f
+	}
+	fs.mu.Unlock()
+
+	f.mu.Lock()
+	if trunc && f.mayTrunc {
+		if err := f.b.Truncate(0); err != nil {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("pfs: truncate %q: %w", name, err)
+		}
+	}
+	f.mayTrunc = false
+	f.refs++
+	f.mu.Unlock()
+
+	clock.Advance(fs.prof.OpenLatency)
+	fs.counters.opens.Add(1)
+	return &File{fs: fs, f: f, rank: rank, nprocs: nprocs, clock: clock}, nil
+}
+
+// InjectFault wraps the named file's backend so that I/O fails after
+// failAfter further operations. Test hook; creates the file if absent.
+func (fs *FileSystem) InjectFault(name string, failAfter int) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		b, err := fs.factory(name)
+		if err != nil {
+			return err
+		}
+		f = &file{name: name, b: b, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		fs.files[name] = f
+	}
+	f.mu.Lock()
+	f.b = NewFaultyBackend(f.b, failAfter)
+	f.mu.Unlock()
+	return nil
+}
+
+// Rank returns the handle's rank.
+func (h *File) Rank() int { return h.rank }
+
+// Name returns the file's name.
+func (h *File) Name() string { return h.f.name }
+
+// Size returns the current file image size in bytes (no time charged; the
+// library uses it only for bookkeeping it would otherwise carry in memory).
+func (h *File) Size() int64 { return h.f.b.Size() }
+
+// WriteAt is an independent (non-collective) write of p at off, the
+// operating-system primitive of the paper's unbuffered baseline.
+func (h *File) WriteAt(p []byte, off int64) error {
+	if h.closed {
+		return fmt.Errorf("pfs: write on closed handle %q", h.f.name)
+	}
+	if _, err := h.f.b.WriteAt(p, off); err != nil {
+		return fmt.Errorf("pfs: write %q at %d: %w", h.f.name, off, err)
+	}
+	slow := off >= h.fs.prof.SlowOffset
+	start := h.clock.Now()
+	h.clock.SyncTo(h.f.d.submit(h.rank, start, int64(len(p)), true, slow))
+	h.fs.rec.Add(h.rank, "io", "WriteAt "+h.f.name, start, h.clock.Now())
+	h.fs.counters.independentWrites.Add(1)
+	h.fs.counters.bytesWritten.Add(int64(len(p)))
+	return nil
+}
+
+// ReadAt is an independent read of len(p) bytes at off.
+func (h *File) ReadAt(p []byte, off int64) error {
+	if h.closed {
+		return fmt.Errorf("pfs: read on closed handle %q", h.f.name)
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(h.f.b, off, int64(len(p))), p); err != nil {
+		return fmt.Errorf("pfs: read %q at %d: %w", h.f.name, off, err)
+	}
+	// A small read of a file larger than the OS cache seeks no matter where
+	// it lands — after writing such a file, none of it is still cached.
+	slow := h.f.b.Size() >= h.fs.prof.SlowOffset
+	start := h.clock.Now()
+	h.clock.SyncTo(h.f.d.submit(h.rank, start, int64(len(p)), false, slow))
+	h.fs.rec.Add(h.rank, "io", "ReadAt "+h.f.name, start, h.clock.Now())
+	h.fs.counters.independentReads.Add(1)
+	h.fs.counters.bytesRead.Add(int64(len(p)))
+	return nil
+}
+
+// Close drops the handle. The underlying image persists in the file system
+// so it can be reopened (e.g. written by an oStream, read back by an
+// iStream).
+func (h *File) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	h.f.mu.Lock()
+	h.f.refs--
+	if h.f.refs == 0 {
+		h.f.mayTrunc = true // next open generation may truncate again
+	}
+	h.f.mu.Unlock()
+	return nil
+}
+
+// collect runs one rendezvous step: the last arrival executes exec (with
+// the file lock released) and publishes the result. When syncClock is
+// false the caller's virtual clock is NOT advanced to the operation's
+// completion time — the asynchronous (write-behind) mode, where the disk
+// works in the background while the node computes; the disk's channel
+// horizon still moves, so later operations queue behind this one.
+func (h *File) collect(syncClock bool, fill func(r *rendezvous), exec func(r *rendezvous)) (*rendezvous, error) {
+	return h.collectNamed("collective "+h.f.name, syncClock, fill, exec)
+}
+
+func (h *File) collectNamed(name string, syncClock bool, fill func(r *rendezvous), exec func(r *rendezvous)) (*rendezvous, error) {
+	if h.closed {
+		return nil, fmt.Errorf("pfs: collective op on closed handle %q", h.f.name)
+	}
+	arrival := h.clock.Now()
+	h.seq++
+	f := h.f
+	f.mu.Lock()
+	r, ok := f.rdvs[h.seq]
+	if !ok {
+		r = &rendezvous{
+			arrivals: make([]float64, h.nprocs),
+			blocks:   make([][]byte, h.nprocs),
+			ranges:   make([]Range, h.nprocs),
+			offsets:  make([]int64, h.nprocs),
+			data:     make([][]byte, h.nprocs),
+			done:     make(chan struct{}),
+		}
+		f.rdvs[h.seq] = r
+	}
+	r.arrivals[h.rank] = h.clock.Now()
+	fill(r)
+	r.arrived++
+	last := r.arrived == h.nprocs
+	if last {
+		delete(f.rdvs, h.seq)
+	}
+	f.mu.Unlock()
+
+	if last {
+		exec(r)
+		close(r.done)
+	} else {
+		select {
+		case <-r.done:
+		case <-h.fs.abort:
+			return nil, fmt.Errorf("pfs: collective on %q aborted: %w", f.name, h.fs.abortErr)
+		}
+	}
+	if syncClock {
+		h.clock.SyncTo(r.completion)
+	} else {
+		// Still a rendezvous: nobody leaves before the last arrival (the
+		// group must agree on the file layout), but the transfer itself
+		// proceeds in the background.
+		h.clock.SyncTo(vtime.MaxOf(r.arrivals))
+	}
+	h.fs.rec.Add(h.rank, "collective", name, arrival, r.completion)
+	return r, r.err
+}
+
+// ParallelAppend is the synchronized node-order append of the Paragon PFS:
+// every node contributes a block (possibly empty); the blocks are written
+// contiguously in rank order at the end of the file. It returns the file
+// offset at which the caller's block landed. All nodes leave at the same
+// virtual time.
+func (h *File) ParallelAppend(block []byte) (int64, error) {
+	off, _, err := h.parallelAppend(block, true)
+	return off, err
+}
+
+// ParallelAppendAsync is the write-behind variant of ParallelAppend: the
+// blocks land in the file and the disk is busy until the returned
+// completion time, but the caller's clock only advances to the rendezvous
+// point — computation overlaps the transfer. Callers must eventually
+// SyncTo the completion time (an output stream does this at Close).
+func (h *File) ParallelAppendAsync(block []byte) (off int64, completion float64, err error) {
+	return h.parallelAppend(block, false)
+}
+
+func (h *File) parallelAppend(block []byte, syncClock bool) (int64, float64, error) {
+	r, err := h.collectNamed("ParallelAppend "+h.f.name, syncClock,
+		func(r *rendezvous) { r.blocks[h.rank] = block },
+		func(r *rendezvous) {
+			sizes := make([]int64, h.nprocs)
+			base := h.f.b.Size()
+			off := base
+			for i, b := range r.blocks {
+				sizes[i] = int64(len(b))
+				r.offsets[i] = off
+				off += int64(len(b))
+			}
+			for i, b := range r.blocks {
+				if len(b) == 0 {
+					continue
+				}
+				if _, werr := h.f.b.WriteAt(b, r.offsets[i]); werr != nil {
+					r.err = fmt.Errorf("pfs: parallel append %q: %w", h.f.name, werr)
+					break
+				}
+			}
+			r.completion = h.f.d.parallel(r.arrivals, sizes, true)
+			var total int64
+			for _, sz := range sizes {
+				total += sz
+			}
+			h.fs.counters.parallelAppends.Add(1)
+			h.fs.counters.bytesWritten.Add(total)
+		},
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.offsets[h.rank], r.completion, nil
+}
+
+// ParallelRead is the synchronized parallel read: every node supplies the
+// byte range it needs (possibly empty) and receives that range. All nodes
+// leave at the same virtual time.
+func (h *File) ParallelRead(rg Range) ([]byte, error) {
+	r, err := h.collectNamed("ParallelRead "+h.f.name, true,
+		func(r *rendezvous) { r.ranges[h.rank] = rg },
+		func(r *rendezvous) {
+			sizes := make([]int64, h.nprocs)
+			for i, g := range r.ranges {
+				sizes[i] = int64(g.Len)
+			}
+			for i, g := range r.ranges {
+				if g.Len == 0 {
+					continue
+				}
+				buf := make([]byte, g.Len)
+				if _, rerr := io.ReadFull(io.NewSectionReader(h.f.b, g.Off, int64(g.Len)), buf); rerr != nil {
+					r.err = fmt.Errorf("pfs: parallel read %q [%d,+%d): %w", h.f.name, g.Off, g.Len, rerr)
+					break
+				}
+				r.data[i] = buf
+			}
+			r.completion = h.f.d.parallel(r.arrivals, sizes, false)
+			var total int64
+			for _, sz := range sizes {
+				total += sz
+			}
+			h.fs.counters.parallelReads.Add(1)
+			h.fs.counters.bytesRead.Add(total)
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return r.data[h.rank], nil
+}
+
+// ControlSync is a synchronizing metadata operation (the gopen/eseek-style
+// control calls of the Paragon PFS): all nodes rendezvous and leave at
+// max(arrival) + ControlOpLatency.
+func (h *File) ControlSync() error {
+	_, err := h.collectNamed("ControlSync "+h.f.name, true,
+		func(*rendezvous) {},
+		func(r *rendezvous) {
+			r.completion = h.f.d.control(r.arrivals)
+			h.fs.counters.controlSyncs.Add(1)
+		},
+	)
+	return err
+}
+
+// Image returns a copy of the full current file image (tools/tests).
+func (fs *FileSystem) Image(name string) ([]byte, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	sz := f.b.Size()
+	buf := make([]byte, sz)
+	if sz == 0 {
+		return buf, nil
+	}
+	if _, err := f.b.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Names lists the files present, sorted (tools/tests).
+func (fs *FileSystem) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes every backend.
+func (fs *FileSystem) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var first error
+	for _, f := range fs.files {
+		if err := f.b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	fs.files = make(map[string]*file)
+	return first
+}

@@ -1,0 +1,223 @@
+package pfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"pcxxstreams/internal/vtime"
+)
+
+func TestStripedBasicRoundTrip(t *testing.T) {
+	s, err := NewStripedMemBackend(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("The quick brown fox jumps over the lazy dog")
+	if _, err := s.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	got := make([]byte, len(data))
+	if _, err := s.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %q", got)
+	}
+	// Unaligned sub-reads.
+	mid := make([]byte, 13)
+	if _, err := s.ReadAt(mid, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid, data[7:20]) {
+		t.Fatalf("sub-read: %q", mid)
+	}
+}
+
+func TestStripedActuallyStripes(t *testing.T) {
+	children := []Backend{NewMemBackend(), NewMemBackend()}
+	s, err := NewStripedBackend(children, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt([]byte("AAAABBBBCCCCDDDD"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Child 0 gets cells 0 and 2 (AAAA, CCCC); child 1 gets BBBB, DDDD.
+	c0 := children[0].(*MemBackend).Bytes()
+	c1 := children[1].(*MemBackend).Bytes()
+	if string(c0) != "AAAACCCC" {
+		t.Fatalf("child 0 = %q", c0)
+	}
+	if string(c1) != "BBBBDDDD" {
+		t.Fatalf("child 1 = %q", c1)
+	}
+}
+
+func TestStripedValidation(t *testing.T) {
+	if _, err := NewStripedBackend(nil, 4); err == nil {
+		t.Error("no children accepted")
+	}
+	if _, err := NewStripedMemBackend(2, 0); err == nil {
+		t.Error("zero unit accepted")
+	}
+	s, _ := NewStripedMemBackend(2, 4)
+	if _, err := s.WriteAt([]byte("x"), -1); err == nil {
+		t.Error("negative write offset accepted")
+	}
+	if _, err := s.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Error("negative read offset accepted")
+	}
+	if err := s.Truncate(-1); err == nil {
+		t.Error("negative truncate accepted")
+	}
+}
+
+func TestStripedEOF(t *testing.T) {
+	s, _ := NewStripedMemBackend(2, 4)
+	s.WriteAt([]byte("abcdef"), 0)
+	buf := make([]byte, 10)
+	n, err := s.ReadAt(buf, 2)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("short read = (%d, %v), want (4, EOF)", n, err)
+	}
+	if _, err := s.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestStripedTruncate(t *testing.T) {
+	s, _ := NewStripedMemBackend(3, 2)
+	s.WriteAt([]byte("0123456789"), 0)
+	if err := s.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 4 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	// Regrow: the tail must be zeros, not stale digits.
+	if err := s.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := s.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("after shrink+grow: %q", buf)
+	}
+}
+
+// TestStripedMatchesFlatModel: representative write scripts produce the
+// same image on a striped backend as on a flat one.
+func TestStripedMatchesFlatModel(t *testing.T) {
+	type op struct {
+		data []byte
+		off  int64
+	}
+	scripts := [][]op{
+		{{[]byte("hello"), 0}, {[]byte("world"), 3}},
+		{{[]byte("a"), 100}, {[]byte("bb"), 0}, {[]byte("c"), 50}},
+		{{bytes.Repeat([]byte{7}, 1000), 13}},
+		{{[]byte("x"), 0}, {[]byte("y"), 4095}, {[]byte("z"), 4096}},
+	}
+	for si, script := range scripts {
+		flat := NewMemBackend()
+		striped, err := NewStripedMemBackend(4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range script {
+			if _, err := flat.WriteAt(o.data, o.off); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := striped.WriteAt(o.data, o.off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if flat.Size() != striped.Size() {
+			t.Fatalf("script %d: sizes %d vs %d", si, flat.Size(), striped.Size())
+		}
+		a := make([]byte, flat.Size())
+		b := make([]byte, striped.Size())
+		flat.ReadAt(a, 0)
+		striped.ReadAt(b, 0)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("script %d: images differ", si)
+		}
+	}
+}
+
+// TestStripedQuick: random single-write/read pairs agree with a flat model
+// across stripe geometries.
+func TestStripedQuick(t *testing.T) {
+	fn := func(data []byte, off16 uint16, k8, unit8 uint8) bool {
+		off := int64(off16 % 2048)
+		k := int(k8)%5 + 1
+		unit := int64(unit8)%63 + 1
+		flat := NewMemBackend()
+		striped, err := NewStripedMemBackend(k, unit)
+		if err != nil {
+			return false
+		}
+		flat.WriteAt(data, off)
+		striped.WriteAt(data, off)
+		if flat.Size() != striped.Size() {
+			return false
+		}
+		if flat.Size() == 0 {
+			return true
+		}
+		a := make([]byte, flat.Size())
+		b := make([]byte, striped.Size())
+		flat.ReadAt(a, 0)
+		striped.ReadAt(b, 0)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripedUnderFullPipeline: a machine run writing and reading a
+// d/stream over a striped file system behaves identically to the flat one.
+func TestStripedUnderFullPipeline(t *testing.T) {
+	prof := vtime.Challenge()
+	flatFS := NewMemFS(prof)
+	stripedFS := NewFileSystem(prof, StripedMemFactory(4, 1024))
+
+	runScript := func(fs *FileSystem) []byte {
+		times := spmdFS(t, fs, 3, func(rank int, clock *vtime.Clock) error {
+			h, err := fs.Open("f", 3, rank, clock, true)
+			if err != nil {
+				return err
+			}
+			defer h.Close()
+			block := bytes.Repeat([]byte{byte('a' + rank)}, 700+rank*13)
+			if _, err := h.ParallelAppend(block); err != nil {
+				return err
+			}
+			got, err := h.ParallelRead(Range{Off: 0, Len: 700})
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, bytes.Repeat([]byte{'a'}, 700)) {
+				return io.ErrUnexpectedEOF
+			}
+			return nil
+		})
+		_ = times
+		img, err := fs.Image("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	if !bytes.Equal(runScript(flatFS), runScript(stripedFS)) {
+		t.Fatal("striped and flat file systems produced different images")
+	}
+}

@@ -1,0 +1,214 @@
+// Package trace records virtual-time event timelines of a machine run —
+// which node spent which virtual interval in which file-system operation —
+// and renders them as an ASCII Gantt chart or Chrome trace-viewer JSON
+// (load via chrome://tracing or https://ui.perfetto.dev). The timeline
+// makes the cost model inspectable: the Paragon's serialized node-order
+// transfers, the unbuffered baseline's long runs of small calls, and the
+// async write-behind overlap are all directly visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one traced interval on one node's virtual timeline.
+type Event struct {
+	Node  int     `json:"node"`
+	Cat   string  `json:"cat"`  // e.g. "io", "collective"
+	Name  string  `json:"name"` // e.g. "ParallelAppend f"
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Recorder collects events; safe for concurrent use. A nil *Recorder is a
+// valid no-op sink, so instrumented code needs no conditionals.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one interval. No-op on a nil recorder.
+func (r *Recorder) Add(node int, cat, name string, start, end float64) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Node: node, Cat: cat, Name: name, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by (start, node).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Summary aggregates a recorder's events: per-node and per-category busy
+// virtual seconds (overlapping events on one node are merged, so "busy"
+// never exceeds wall time).
+type Summary struct {
+	// BusyByNode[n] is node n's total time inside traced operations.
+	BusyByNode map[int]float64
+	// ByCategory sums event durations per category across nodes (without
+	// overlap merging — a per-category cost account).
+	ByCategory map[string]float64
+	// Span is the latest event end time.
+	Span float64
+}
+
+// Summarize computes the Summary.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{BusyByNode: map[int]float64{}, ByCategory: map[string]float64{}}
+	perNode := map[int][]Event{}
+	for _, e := range r.Events() {
+		perNode[e.Node] = append(perNode[e.Node], e)
+		s.ByCategory[e.Cat] += e.End - e.Start
+		if e.End > s.Span {
+			s.Span = e.End
+		}
+	}
+	for n, evs := range perNode {
+		// Events arrive sorted by start; merge overlaps.
+		busy, curStart, curEnd := 0.0, 0.0, -1.0
+		for _, e := range evs {
+			if e.Start > curEnd {
+				if curEnd >= 0 {
+					busy += curEnd - curStart
+				}
+				curStart, curEnd = e.Start, e.End
+			} else if e.End > curEnd {
+				curEnd = e.End
+			}
+		}
+		if curEnd >= 0 {
+			busy += curEnd - curStart
+		}
+		s.BusyByNode[n] = busy
+	}
+	return s
+}
+
+// Utilization returns node's busy fraction of the full span (0 when the
+// recorder is empty).
+func (s Summary) Utilization(node int) float64 {
+	if s.Span == 0 {
+		return 0
+	}
+	return s.BusyByNode[node] / s.Span
+}
+
+// chromeEvent is one entry of the Chrome trace-viewer "traceEvents" array.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeJSON renders the timeline in Chrome trace-viewer format, one
+// "thread" per node, virtual seconds mapped to microseconds.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	evs := r.Events()
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Unit        string        `json:"displayTimeUnit"`
+	}{Unit: "ms"}
+	for _, e := range evs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "X",
+			Ts: e.Start * 1e6, Dur: (e.End - e.Start) * 1e6,
+			Pid: 0, Tid: e.Node,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteGantt renders an ASCII Gantt chart, one row per node, `width`
+// columns spanning [0, max end time].
+func (r *Recorder) WriteGantt(w io.Writer, width int) error {
+	evs := r.Events()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxNode, maxT := 0, 0.0
+	for _, e := range evs {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+		if e.End > maxT {
+			maxT = e.End
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	col := func(t float64) int {
+		c := int(t / maxT * float64(width-1))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rows := make([][]byte, maxNode+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range evs {
+		mark := byte('#')
+		if e.Cat == "collective" {
+			mark = '='
+		}
+		for c := col(e.Start); c <= col(e.End); c++ {
+			rows[e.Node][c] = mark
+		}
+	}
+	fmt.Fprintf(w, "virtual time 0 .. %.4fs  (# independent I/O, = collective op)\n", maxT)
+	for n, row := range rows {
+		if _, err := fmt.Fprintf(w, "node %2d |%s|\n", n, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

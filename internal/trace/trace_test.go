@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Add(0, "io", "x", 0, 1) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder not empty")
+	}
+}
+
+func TestAddAndSortedEvents(t *testing.T) {
+	r := New()
+	r.Add(1, "io", "b", 2.0, 3.0)
+	r.Add(0, "io", "a", 1.0, 1.5)
+	r.Add(0, "collective", "c", 2.0, 4.0)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Name != "a" {
+		t.Fatalf("first event %q, want a", evs[0].Name)
+	}
+	// Same start: lower node first.
+	if evs[1].Node != 0 || evs[2].Node != 1 {
+		t.Fatalf("tie-break order wrong: %+v", evs[1:])
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestAddNormalizesReversedInterval(t *testing.T) {
+	r := New()
+	r.Add(0, "io", "rev", 5, 2)
+	e := r.Events()[0]
+	if e.Start != 2 || e.End != 5 {
+		t.Fatalf("interval not normalized: %+v", e)
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	r := New()
+	r.Add(0, "io", "WriteAt f", 0.001, 0.002)
+	r.Add(1, "collective", "ParallelAppend f", 0.002, 0.010)
+	var b strings.Builder
+	if err := r.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(parsed.TraceEvents))
+	}
+	e0 := parsed.TraceEvents[0]
+	if e0.Ph != "X" || e0.Ts != 1000 || e0.Dur != 1000 {
+		t.Fatalf("event 0 = %+v (want complete event, µs units)", e0)
+	}
+	if parsed.TraceEvents[1].Tid != 1 {
+		t.Fatalf("tid = %d", parsed.TraceEvents[1].Tid)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	r.Add(0, "io", "w", 0, 0.5)
+	r.Add(1, "collective", "p", 0.5, 1.0)
+	var b strings.Builder
+	if err := r.WriteGantt(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "node  0 |") || !strings.Contains(out, "node  1 |") {
+		t.Fatalf("missing node rows:\n%s", out)
+	}
+	// Node 0's bar is #, node 1's is =, and they occupy opposite halves.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row0, row1 := lines[1], lines[2]
+	if !strings.Contains(row0, "#") || strings.Contains(row0, "=") {
+		t.Fatalf("row0 marks wrong: %s", row0)
+	}
+	if !strings.Contains(row1, "=") || strings.Contains(row1, "#") {
+		t.Fatalf("row1 marks wrong: %s", row1)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := New().WriteGantt(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no events") {
+		t.Fatalf("empty gantt output: %q", b.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := New()
+	// Node 0: two overlapping io events [0,2] and [1,3] → busy 3.
+	r.Add(0, "io", "a", 0, 2)
+	r.Add(0, "io", "b", 1, 3)
+	// Node 0: disjoint collective [5,6] → +1.
+	r.Add(0, "collective", "c", 5, 6)
+	// Node 1: one event [2,4].
+	r.Add(1, "io", "d", 2, 4)
+	s := r.Summarize()
+	if s.Span != 6 {
+		t.Fatalf("Span = %v", s.Span)
+	}
+	if got := s.BusyByNode[0]; got != 4 {
+		t.Fatalf("node 0 busy = %v, want 4 (overlap merged)", got)
+	}
+	if got := s.BusyByNode[1]; got != 2 {
+		t.Fatalf("node 1 busy = %v", got)
+	}
+	// Category account counts overlaps separately: io = 2+2+2 = 6.
+	if got := s.ByCategory["io"]; got != 6 {
+		t.Fatalf("io category = %v", got)
+	}
+	if got := s.ByCategory["collective"]; got != 1 {
+		t.Fatalf("collective category = %v", got)
+	}
+	if u := s.Utilization(0); u < 0.66 || u > 0.67 {
+		t.Fatalf("node 0 utilization = %v, want ~2/3", u)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := New().Summarize()
+	if s.Span != 0 || len(s.BusyByNode) != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.Utilization(3) != 0 {
+		t.Fatal("utilization of empty recorder nonzero")
+	}
+}

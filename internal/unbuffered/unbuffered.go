@@ -1,0 +1,125 @@
+// Package unbuffered is the first baseline of the paper's evaluation
+// (§4.3): coding the SCF I/O "using operating system I/O primitives
+// directly with no buffering. Application developers often use unbuffered
+// I/O to avoid the extra code required for buffering, and this can lead to
+// less than optimal I/O performance."
+//
+// Every field of every segment is moved with its own I/O call — one write
+// (or read) per field array per segment — at a file offset the programmer
+// computes from the fixed segment size. No metadata is stored.
+package unbuffered
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/scf"
+)
+
+// fixed per-segment layout: count (8 bytes) then the seven raw arrays.
+func fieldOffsets(particles int) [8]int64 {
+	var offs [8]int64
+	offs[0] = 0
+	arr := int64(8 * particles)
+	for i := 1; i < 8; i++ {
+		offs[i] = 8 + int64(i-1)*arr
+	}
+	return offs
+}
+
+func segFields(s *scf.Segment) [7][]float64 {
+	return [7][]float64{s.X, s.Y, s.Z, s.VX, s.VY, s.VZ, s.Mass}
+}
+
+// WriteSegments writes every locally owned segment with unbuffered
+// per-field OS calls. particles must be the uniform per-segment particle
+// count (the baselines assume computable sizes, as the paper notes).
+func WriteSegments(node *machine.Node, c *collection.Collection[scf.Segment], name string, particles int) error {
+	f, err := node.Open(name, true)
+	if err != nil {
+		return fmt.Errorf("unbuffered: %w", err)
+	}
+	defer f.Close()
+	// All nodes must hold the file before anyone writes, or a slow node's
+	// truncate-on-open could wipe a fast node's data.
+	if err := node.Comm().Barrier(); err != nil {
+		return fmt.Errorf("unbuffered: open sync: %w", err)
+	}
+	segBytes := scf.RawBytes(particles)
+	offs := fieldOffsets(particles)
+	var scratch [8]byte
+	arrBuf := make([]byte, 8*particles)
+
+	var werr error
+	c.Apply(func(g int, s *scf.Segment) {
+		if werr != nil {
+			return
+		}
+		if int(s.NumberOfParticles) != particles {
+			werr = fmt.Errorf("unbuffered: segment %d has %d particles, expected %d",
+				g, s.NumberOfParticles, particles)
+			return
+		}
+		base := int64(g) * segBytes
+		binary.LittleEndian.PutUint64(scratch[:], uint64(s.NumberOfParticles))
+		if werr = f.WriteAt(scratch[:], base+offs[0]); werr != nil {
+			return
+		}
+		for fi, arr := range segFields(s) {
+			for i, v := range arr {
+				binary.LittleEndian.PutUint64(arrBuf[8*i:], math.Float64bits(v))
+			}
+			if werr = f.WriteAt(arrBuf[:8*len(arr)], base+offs[fi+1]); werr != nil {
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return node.Comm().Barrier()
+}
+
+// ReadSegments reads every locally owned segment back with per-field OS
+// calls, mirroring WriteSegments.
+func ReadSegments(node *machine.Node, c *collection.Collection[scf.Segment], name string, particles int) error {
+	f, err := node.Open(name, false)
+	if err != nil {
+		return fmt.Errorf("unbuffered: %w", err)
+	}
+	defer f.Close()
+	segBytes := scf.RawBytes(particles)
+	offs := fieldOffsets(particles)
+	var scratch [8]byte
+	arrBuf := make([]byte, 8*particles)
+
+	var rerr error
+	c.Apply(func(g int, s *scf.Segment) {
+		if rerr != nil {
+			return
+		}
+		base := int64(g) * segBytes
+		if rerr = f.ReadAt(scratch[:], base+offs[0]); rerr != nil {
+			return
+		}
+		s.NumberOfParticles = int64(binary.LittleEndian.Uint64(scratch[:]))
+		fields := [7]*[]float64{&s.X, &s.Y, &s.Z, &s.VX, &s.VY, &s.VZ, &s.Mass}
+		for fi, fp := range fields {
+			if rerr = f.ReadAt(arrBuf, base+offs[fi+1]); rerr != nil {
+				return
+			}
+			arr := make([]float64, particles)
+			for i := range arr {
+				arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(arrBuf[8*i:]))
+			}
+			*fp = arr
+		}
+	})
+	if rerr != nil {
+		return rerr
+	}
+	return node.Comm().Barrier()
+}

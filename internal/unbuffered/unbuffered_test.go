@@ -1,0 +1,109 @@
+package unbuffered
+
+import (
+	"fmt"
+	"testing"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+func fillColl(n *machine.Node, d *distr.Distribution, particles int) (*collection.Collection[scf.Segment], error) {
+	c, err := collection.New[scf.Segment](n, d)
+	if err != nil {
+		return nil, err
+	}
+	c.Apply(func(g int, s *scf.Segment) { s.Fill(g, particles) })
+	return c, nil
+}
+
+func TestRoundTrip(t *testing.T) {
+	const particles = 7
+	fs := pfs.NewMemFS(vtime.Challenge())
+	_, err := machine.Run(machine.Config{NProcs: 3, Profile: vtime.Challenge(), FS: fs},
+		func(n *machine.Node) error {
+			d, _ := distr.New(10, 3, distr.Cyclic, 0)
+			c, err := fillColl(n, d, particles)
+			if err != nil {
+				return err
+			}
+			if err := WriteSegments(n, c, "raw", particles); err != nil {
+				return err
+			}
+			back, err := collection.New[scf.Segment](n, d)
+			if err != nil {
+				return err
+			}
+			if err := ReadSegments(n, back, "raw", particles); err != nil {
+				return err
+			}
+			var bad error
+			back.Apply(func(g int, s *scf.Segment) {
+				var want scf.Segment
+				want.Fill(g, particles)
+				if !s.Equal(&want) {
+					bad = fmt.Errorf("global %d mismatch", g)
+				}
+			})
+			return bad
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File is exactly nSegments × RawBytes, dense with no metadata.
+	img, err := fs.Image("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(img)) != 10*scf.RawBytes(particles) {
+		t.Fatalf("file is %d bytes, want %d", len(img), 10*scf.RawBytes(particles))
+	}
+}
+
+func TestRejectsWrongParticleCount(t *testing.T) {
+	fs := pfs.NewMemFS(vtime.Challenge())
+	_, err := machine.Run(machine.Config{NProcs: 1, Profile: vtime.Challenge(), FS: fs},
+		func(n *machine.Node) error {
+			d, _ := distr.New(2, 1, distr.Block, 0)
+			c, err := fillColl(n, d, 5)
+			if err != nil {
+				return err
+			}
+			return WriteSegments(n, c, "raw", 9) // declared 9, actual 5
+		})
+	if err == nil {
+		t.Fatal("mismatched particle count accepted")
+	}
+}
+
+// TestManySmallOps: the defining property of the baseline — one I/O call
+// per field per segment, so vastly more ops than the buffered variants.
+func TestManySmallOpsCost(t *testing.T) {
+	const particles = scf.DefaultParticles
+	prof := vtime.Paragon()
+	elapsedFor := func(segments int) float64 {
+		fs := pfs.NewMemFS(prof)
+		res, err := machine.Run(machine.Config{NProcs: 4, Profile: prof, FS: fs},
+			func(n *machine.Node) error {
+				d, _ := distr.New(segments, 4, distr.Cyclic, 0)
+				c, err := fillColl(n, d, particles)
+				if err != nil {
+					return err
+				}
+				n.Clock().Reset()
+				return WriteSegments(n, c, "raw", particles)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	small, big := elapsedFor(64), elapsedFor(512)
+	if big < small*4 {
+		t.Fatalf("op-count scaling broken: 64 segs %v, 512 segs %v", small, big)
+	}
+}

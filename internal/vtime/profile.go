@@ -1,0 +1,129 @@
+package vtime
+
+// Profile bundles the cost constants of one simulated platform. The two
+// shipped profiles model the Intel Paragon and the SGI Challenge of the
+// paper's evaluation (Section 4.3); a third models the TMC CM-5, which the
+// paper reports the library also runs on. Constants were calibrated so the
+// reproduced tables match the paper's shape: buffered I/O beats unbuffered
+// by a wide margin, the Paragon's unbuffered path falls off a cache cliff
+// between the 2.8 MB and 5.6 MB points, manual buffering hits its own cliff
+// when the per-node block exceeds the write cache, and the pC++/streams
+// overhead percentage shrinks as I/O size grows.
+type Profile struct {
+	Name string
+
+	// Message passing.
+	MsgLatency   float64 // seconds per message (one-way)
+	MsgBW        float64 // bytes/second of a point-to-point link
+	SendOverhead float64 // CPU seconds charged to the sender per message
+
+	// Memory.
+	MemCopyBW   float64 // bytes/second for buffer packing/unpacking
+	PerElemCost float64 // seconds per element of pointer-list traversal
+
+	// File system: fixed costs.
+	IOOpLatency      float64 // seconds per I/O call while the OS cache absorbs it
+	IOOpSlow         float64 // seconds per small I/O call beyond SlowOffset
+	SlowOffset       int64   // file offset past which small ops pay IOOpSlow
+	SmallOp          int64   // ops of at most this many bytes are "small"
+	OpenLatency      float64 // seconds to open a parallel file
+	ControlOpLatency float64 // seconds per synchronizing metadata operation
+
+	// File system: streaming costs.
+	DiskFastBW  float64 // bytes/second while a block fits the write cache
+	DiskSlowBW  float64 // bytes/second for the portion beyond the cache
+	BlockCache  int64   // per-node write-cache bytes for large block transfers
+	SerialPerOp float64 // serialized seconds charged per node in a parallel op
+	IOChannels  int     // concurrent I/O channels of the storage subsystem
+}
+
+// Paragon models a 4-16 node Intel Paragon partition with the PFS parallel
+// file system (OSF/1, 1995). Its signature behaviours are a very high
+// per-call cost for unbuffered small writes once the OS write cache is
+// exhausted, and a hard bandwidth cliff when a node's block transfer
+// overflows the per-node write cache.
+func Paragon() Profile {
+	return Profile{
+		Name:             "paragon",
+		MsgLatency:       90e-6,
+		MsgBW:            80e6,
+		SendOverhead:     20e-6,
+		MemCopyBW:        30e6,
+		PerElemCost:      100e-6,
+		IOOpLatency:      1.4e-3,
+		IOOpSlow:         22e-3,
+		SlowOffset:       3 << 20, // ~3 MB of file absorbed by the OS cache
+		SmallOp:          32 << 10,
+		OpenLatency:      0.35,
+		ControlOpLatency: 0.15,
+		DiskFastBW:       3.0e6,
+		DiskSlowBW:       64e3,
+		BlockCache:       2 << 20, // ~2 MB per-node write cache
+		SerialPerOp:      60e-3,
+		IOChannels:       1, // PFS node-order serialized transfers
+	}
+}
+
+// Challenge models the SGI Challenge shared-memory multiprocessor with a
+// fast local file system: low per-call latency, no pathological cliffs, and
+// parallel writes that scale but pay a serialized per-node cost on the
+// shared bus (visible as the large small-size overhead in Table 4).
+func Challenge() Profile {
+	return Profile{
+		Name:             "challenge",
+		MsgLatency:       8e-6,
+		MsgBW:            300e6,
+		SendOverhead:     2e-6,
+		MemCopyBW:        180e6,
+		PerElemCost:      1.5e-6,
+		IOOpLatency:      0.05e-3,
+		IOOpSlow:         0.05e-3, // no cliff
+		SlowOffset:       1 << 62,
+		SmallOp:          32 << 10,
+		OpenLatency:      3e-3,
+		ControlOpLatency: 0.1,
+		DiskFastBW:       12e6,
+		DiskSlowBW:       12e6,
+		BlockCache:       1 << 62,
+		SerialPerOp:      3e-3,
+		IOChannels:       4,
+	}
+}
+
+// CM5 models a Thinking Machines CM-5 with the Scalable File System. The
+// paper notes the library runs there but reports no table (CMMD timers do
+// not account for I/O); the profile is provided for the extension benches.
+func CM5() Profile {
+	return Profile{
+		Name:             "cm5",
+		MsgLatency:       50e-6,
+		MsgBW:            10e6,
+		SendOverhead:     10e-6,
+		MemCopyBW:        25e6,
+		PerElemCost:      5e-6,
+		IOOpLatency:      1.5e-3,
+		IOOpSlow:         40e-3,
+		SlowOffset:       4 << 20,
+		SmallOp:          32 << 10,
+		OpenLatency:      0.1,
+		ControlOpLatency: 40e-3,
+		DiskFastBW:       4.0e6,
+		DiskSlowBW:       500e3,
+		BlockCache:       2 << 20,
+		SerialPerOp:      8e-3,
+		IOChannels:       2,
+	}
+}
+
+// ByName returns the named profile. Known names: paragon, challenge, cm5.
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "paragon":
+		return Paragon(), true
+	case "challenge":
+		return Challenge(), true
+	case "cm5":
+		return CM5(), true
+	}
+	return Profile{}, false
+}

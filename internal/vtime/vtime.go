@@ -1,0 +1,73 @@
+// Package vtime provides the virtual-time machinery used by the simulated
+// multicomputer. Every node of the machine owns a Clock that is advanced
+// deterministically by the cost model of each operation (message sends,
+// receives, memory copies, file-system calls). Benchmarks report elapsed
+// virtual seconds, so results are reproducible on any host and preserve the
+// *shape* of the paper's 1995 measurements (who wins, by what factor, where
+// the crossovers fall) without depending on modern hardware speed.
+//
+// A Clock is owned by a single node goroutine and is not safe for concurrent
+// use; synchronization points (collectives, parallel file-system operations)
+// exchange timestamps explicitly and combine them with SyncTo.
+package vtime
+
+import "fmt"
+
+// Clock is a per-node virtual clock measured in seconds.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds. Negative d is ignored so
+// that cost formulas never move time backwards.
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// SyncTo moves the clock forward to t if t is later than the current time.
+// It is used at synchronization points: after a barrier every participant
+// calls SyncTo with the maximum timestamp observed across the group.
+func (c *Clock) SyncTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset sets the clock back to zero. Benchmark harnesses call it between
+// measured phases.
+func (c *Clock) Reset() { c.now = 0 }
+
+func (c *Clock) String() string { return fmt.Sprintf("vt=%.6fs", c.now) }
+
+// TransferTime returns the time to move n bytes at bw bytes/second.
+// A non-positive bandwidth models an infinitely fast resource.
+func TransferTime(n int64, bw float64) float64 {
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(n) / bw
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the maximum of a non-empty slice of timestamps.
+func MaxOf(ts []float64) float64 {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

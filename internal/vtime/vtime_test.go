@@ -1,0 +1,133 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(0.25)
+	if got := c.Now(); got != 1.75 {
+		t.Fatalf("Now() = %v, want 1.75", got)
+	}
+}
+
+func TestClockAdvanceIgnoresNegative(t *testing.T) {
+	var c Clock
+	c.Advance(2)
+	c.Advance(-5)
+	if got := c.Now(); got != 2 {
+		t.Fatalf("Now() = %v, want 2 (negative advance must be ignored)", got)
+	}
+}
+
+func TestClockSyncTo(t *testing.T) {
+	var c Clock
+	c.Advance(3)
+	c.SyncTo(2) // earlier: no-op
+	if c.Now() != 3 {
+		t.Fatalf("SyncTo moved clock backwards to %v", c.Now())
+	}
+	c.SyncTo(7)
+	if c.Now() != 7 {
+		t.Fatalf("SyncTo(7) gave %v", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(9)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %v", c.Now())
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: any interleaving of Advance/SyncTo never decreases the clock.
+	f := func(steps []float64) bool {
+		var c Clock
+		prev := 0.0
+		for i, s := range steps {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			if i%2 == 0 {
+				c.Advance(s)
+			} else {
+				c.SyncTo(s)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1000, 1000); got != 1 {
+		t.Fatalf("TransferTime(1000,1000) = %v, want 1", got)
+	}
+	if got := TransferTime(0, 1000); got != 0 {
+		t.Fatalf("TransferTime(0,1000) = %v, want 0", got)
+	}
+	if got := TransferTime(1000, 0); got != 0 {
+		t.Fatalf("TransferTime with bw=0 = %v, want 0 (infinitely fast)", got)
+	}
+	if got := TransferTime(-5, 100); got != 0 {
+		t.Fatalf("TransferTime negative bytes = %v, want 0", got)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if got := MaxOf([]float64{1, 9, 3}); got != 9 {
+		t.Fatalf("MaxOf = %v, want 9", got)
+	}
+	if got := MaxOf([]float64{-2}); got != -2 {
+		t.Fatalf("MaxOf single = %v, want -2", got)
+	}
+}
+
+func TestProfilesByName(t *testing.T) {
+	for _, name := range []string{"paragon", "challenge", "cm5"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if p.Name != name {
+			t.Fatalf("profile name %q != %q", p.Name, name)
+		}
+		if p.MsgLatency <= 0 || p.MemCopyBW <= 0 || p.IOOpLatency <= 0 || p.DiskFastBW <= 0 {
+			t.Fatalf("profile %q has non-positive core constants: %+v", name, p)
+		}
+		if p.IOOpSlow < p.IOOpLatency {
+			t.Fatalf("profile %q: slow op cheaper than fast op", name)
+		}
+		if p.IOChannels < 1 {
+			t.Fatalf("profile %q: no I/O channels", name)
+		}
+		if p.OpenLatency <= 0 || p.ControlOpLatency <= 0 || p.SerialPerOp <= 0 {
+			t.Fatalf("profile %q: non-positive fixed costs: %+v", name, p)
+		}
+		if p.PerElemCost <= 0 {
+			t.Fatalf("profile %q: non-positive per-element cost", name)
+		}
+		if p.DiskSlowBW > p.DiskFastBW {
+			t.Fatalf("profile %q: slow disk faster than fast disk", name)
+		}
+	}
+	if _, ok := ByName("cray"); ok {
+		t.Fatal("ByName(cray) unexpectedly found")
+	}
+}

@@ -1,0 +1,283 @@
+// Package pcxxstreams is a Go reproduction of pC++/streams (Gotwals,
+// Srinivas, Gannon — PPoPP 1995): d/streams, a buffered-I/O abstraction for
+// distributed arrays of variable-sized objects, together with the whole
+// stack the paper's library ran on — an object-parallel collection model, a
+// simulated multicomputer with message passing over goroutines or TCP
+// sockets, and a Paragon-style parallel file system with a calibrated cost
+// model.
+//
+// This package is the public façade: it re-exports the user-facing API of
+// the internal packages so applications can be written against one import.
+//
+// A minimal program (see examples/quickstart for the runnable version):
+//
+//	cfg := pcxxstreams.Config{NProcs: 4, Profile: pcxxstreams.Paragon()}
+//	pcxxstreams.Run(cfg, func(n *pcxxstreams.Node) error {
+//	    d, _ := pcxxstreams.NewDistribution(1000, 4, pcxxstreams.Cyclic, 0)
+//	    g, _ := pcxxstreams.NewCollection[Particle](n, d)
+//	    // ... fill g ...
+//	    s, _ := pcxxstreams.Output(n, d, "wholeGridFile") // oStream s(&d,&a,...)
+//	    pcxxstreams.Insert[Particle](s, g)                // s << g
+//	    s.Write()                                         // s.write()
+//	    return s.Close()
+//	})
+package pcxxstreams
+
+import (
+	"pcxxstreams/internal/ckpt"
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/collective"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/grid"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/replicated"
+	"pcxxstreams/internal/trace"
+	"pcxxstreams/internal/vtime"
+)
+
+// --- Machine: the simulated multicomputer (paper's Processors object) ---
+
+type (
+	// Config describes a machine run: node count, platform cost profile,
+	// transport, and optionally a shared file system.
+	Config = machine.Config
+	// Node is one rank's execution context inside Run.
+	Node = machine.Node
+	// Result reports per-node and maximum virtual times of a run.
+	Result = machine.Result
+	// TransportKind selects in-process channels or TCP sockets.
+	TransportKind = machine.TransportKind
+	// Profile is a platform cost model (Paragon, Challenge, CM5).
+	Profile = vtime.Profile
+)
+
+// Transport kinds.
+const (
+	// TransportChan exchanges messages through in-process queues.
+	TransportChan = machine.TransportChan
+	// TransportTCP exchanges messages over loopback TCP sockets.
+	TransportTCP = machine.TransportTCP
+)
+
+// Collective algorithms (Config.Collectives).
+const (
+	// LinearCollectives is the root-exchanges-with-all default, right at
+	// the paper's 4-16 node scale.
+	LinearCollectives = collective.Linear
+	// TreeCollectives uses binomial trees and a dissemination barrier:
+	// O(log P) depth for large simulated machines.
+	TreeCollectives = collective.Tree
+)
+
+// TraceRecorder records per-operation virtual-time intervals of a run
+// (Config.Trace); render with WriteGantt or WriteChromeJSON.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder creates an empty trace recorder.
+var NewTraceRecorder = trace.New
+
+// Run executes body SPMD-style on every node of the configured machine.
+var Run = machine.Run
+
+// Platform profiles.
+var (
+	// Paragon models the Intel Paragon with its PFS parallel file system.
+	Paragon = vtime.Paragon
+	// Challenge models the SGI Challenge shared-memory multiprocessor.
+	Challenge = vtime.Challenge
+	// CM5 models the Thinking Machines CM-5 with SFS.
+	CM5 = vtime.CM5
+	// ProfileByName looks profiles up by name ("paragon", "challenge", "cm5").
+	ProfileByName = vtime.ByName
+)
+
+// --- Distribution and alignment (HPF-style, paper §4) ---
+
+type (
+	// Distribution maps collection elements to owning processors.
+	Distribution = distr.Distribution
+	// Mode is the HPF distribution pattern (Block, Cyclic, BlockCyclic).
+	Mode = distr.Mode
+	// Alignment maps collection indices onto a distribution template.
+	Alignment = distr.Alignment
+)
+
+// Distribution modes.
+const (
+	// Block assigns contiguous chunks to processors.
+	Block = distr.Block
+	// Cyclic deals elements round-robin.
+	Cyclic = distr.Cyclic
+	// BlockCyclic deals fixed-size blocks round-robin.
+	BlockCyclic = distr.BlockCyclic
+	// ExplicitMode assigns elements through an owner table.
+	ExplicitMode = distr.Explicit
+)
+
+// Distribution constructors.
+var (
+	// NewDistribution distributes n elements over nprocs processors.
+	NewDistribution = distr.New
+	// NewAlignedDistribution aligns n elements onto a template.
+	NewAlignedDistribution = distr.NewAligned
+	// NewExplicitDistribution distributes by an explicit owner table.
+	NewExplicitDistribution = distr.NewExplicit
+	// NewBalancedDistribution partitions weighted elements into contiguous
+	// near-equal-weight chunks (variable-density data).
+	NewBalancedDistribution = distr.NewBalanced
+	// IdentityAlignment is the 1:1 alignment.
+	IdentityAlignment = distr.Identity
+)
+
+// Grid2D distributes a 2-D grid over a processor mesh with an HPF pattern
+// per dimension; its Dist() plugs into collections and streams.
+type Grid2D = grid.Grid2D
+
+// Grid3D is the three-dimensional counterpart of Grid2D.
+type Grid3D = grid.Grid3D
+
+// Grid constructors.
+var (
+	// NewGrid2D builds a rows × cols grid over a procRows × procCols mesh.
+	NewGrid2D = grid.New2D
+	// NewGrid3D builds an nx × ny × nz grid over a px × py × pz mesh.
+	NewGrid3D = grid.New3D
+)
+
+// --- Collections (pC++'s distributed arrays of objects) ---
+
+// Collection is a distributed array of T over a Distribution.
+type Collection[T any] = collection.Collection[T]
+
+// NewCollection builds a node's view of a collection distributed by d.
+func NewCollection[T any](n *Node, d *Distribution) (*Collection[T], error) {
+	return collection.New[T](n, d)
+}
+
+// --- d/streams: the paper's central contribution ---
+
+type (
+	// OStream is an output d/stream (declare with Output).
+	OStream = dstream.OStream
+	// IStream is an input d/stream (declare with Input).
+	IStream = dstream.IStream
+	// Encoder is the per-element payload encoder used by inserters.
+	Encoder = dstream.Encoder
+	// Decoder is the per-element payload decoder used by extractors.
+	Decoder = dstream.Decoder
+	// Inserter is implemented by self-inserting element types.
+	Inserter = dstream.Inserter
+	// Extractor is implemented by self-extracting element types.
+	Extractor = dstream.Extractor
+	// StreamOptions tunes metadata policy (funnel vs parallel write).
+	StreamOptions = dstream.Options
+	// MetaPolicy selects the metadata path of §4.1 step 1.
+	MetaPolicy = dstream.MetaPolicy
+)
+
+// Metadata policies.
+const (
+	// MetaAuto applies the paper's small-collection heuristic.
+	MetaAuto = dstream.MetaAuto
+	// MetaFunnel always funnels metadata through node 0.
+	MetaFunnel = dstream.MetaFunnel
+	// MetaParallel always writes metadata with its own parallel write.
+	MetaParallel = dstream.MetaParallel
+)
+
+// Stream constructors and sentinel errors.
+var (
+	// Output opens an output d/stream: oStream s(&d, &a, "file").
+	Output = dstream.Output
+	// OutputOpts opens an output d/stream with explicit options.
+	OutputOpts = dstream.OutputOpts
+	// Input opens an input d/stream: iStream s(&d, &a, "file").
+	Input = dstream.Input
+
+	// ErrClosed reports use of a closed stream.
+	ErrClosed = dstream.ErrClosed
+	// ErrNotAligned reports a collection/stream layout mismatch.
+	ErrNotAligned = dstream.ErrNotAligned
+	// ErrOrder reports a primitive called out of Figure 2's legal order.
+	ErrOrder = dstream.ErrOrder
+)
+
+// Insert inserts an entire collection: s << g.
+func Insert[T any, PT dstream.InserterPtr[T]](s *OStream, c *Collection[T]) error {
+	return dstream.Insert[T, PT](s, c)
+}
+
+// Extract extracts an entire collection: s >> g.
+func Extract[T any, PT dstream.ExtractorPtr[T]](s *IStream, c *Collection[T]) error {
+	return dstream.Extract[T, PT](s, c)
+}
+
+// InsertField inserts one scalar field of every element: s << g.field.
+func InsertField[T any, V dstream.Scalar](s *OStream, c *Collection[T], get func(*T) V) error {
+	return dstream.InsertField(s, c, get)
+}
+
+// ExtractField extracts one scalar field of every element: s >> g.field.
+func ExtractField[T any, V dstream.Scalar](s *IStream, c *Collection[T], ptr func(*T) *V) error {
+	return dstream.ExtractField(s, c, ptr)
+}
+
+// InsertFloat64Slice inserts a variable-sized []float64 field — the
+// paper's s << array(p.mass, p.numberOfParticles).
+func InsertFloat64Slice[T any](s *OStream, c *Collection[T], get func(*T) []float64) error {
+	return dstream.InsertFloat64Slice(s, c, get)
+}
+
+// ExtractFloat64Slice extracts a variable-sized []float64 field.
+func ExtractFloat64Slice[T any](s *IStream, c *Collection[T], ptr func(*T) *[]float64) error {
+	return dstream.ExtractFloat64Slice(s, c, ptr)
+}
+
+// InsertInt64Slice inserts a variable-sized []int64 field.
+func InsertInt64Slice[T any](s *OStream, c *Collection[T], get func(*T) []int64) error {
+	return dstream.InsertInt64Slice(s, c, get)
+}
+
+// ExtractInt64Slice extracts a variable-sized []int64 field.
+func ExtractInt64Slice[T any](s *IStream, c *Collection[T], ptr func(*T) *[]int64) error {
+	return dstream.ExtractInt64Slice(s, c, ptr)
+}
+
+// --- Replicated-data I/O (paper §4.2) ---
+
+// ReplicatedFile performs I/O on node-replicated local data: node 0 does
+// the file I/O; reads are broadcast.
+type ReplicatedFile = replicated.File
+
+// OpenReplicated opens a replicated-data file on all nodes.
+var OpenReplicated = replicated.Open
+
+// --- Checkpoint manager (the §2 checkpointing task, productized) ---
+
+type (
+	// CheckpointManager rotates crash-consistent checkpoints over slots.
+	CheckpointManager = ckpt.Manager
+	// CheckpointSlot describes one validated checkpoint.
+	CheckpointSlot = ckpt.Slot
+)
+
+// Checkpoint constructors and queries.
+var (
+	// NewCheckpointManager creates a rotating checkpoint manager.
+	NewCheckpointManager = ckpt.New
+	// LatestCheckpoint returns the newest valid checkpoint slot.
+	LatestCheckpoint = ckpt.Latest
+)
+
+// SaveCheckpoint checkpoints a whole collection under the given epoch.
+func SaveCheckpoint[T any, PT dstream.InserterPtr[T]](m *CheckpointManager, epoch uint64, c *Collection[T]) error {
+	return ckpt.SaveCollection[T, PT](m, epoch, c)
+}
+
+// RestoreCheckpoint restores a collection from the newest valid checkpoint
+// and returns its epoch. The collection's distribution (and the machine's
+// node count) may differ from the writer's.
+func RestoreCheckpoint[T any, PT dstream.ExtractorPtr[T]](n *Node, base string, slots int, c *Collection[T]) (uint64, error) {
+	return ckpt.RestoreCollection[T, PT](n, base, slots, c)
+}
