@@ -1,0 +1,28 @@
+# Build/verify entry points. `make check` is the full tier-1 verify:
+# vet + the whole suite under the race detector (the machine runs one
+# goroutine per simulated node, so -race is load-bearing, not optional).
+
+GO ?= go
+
+.PHONY: build test vet race check bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Regenerate the paper's tables (shape-checked against the published data).
+tables:
+	$(GO) run ./cmd/dstream-bench -all
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./internal/bench

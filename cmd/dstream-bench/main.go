@@ -17,7 +17,7 @@ import (
 	"os"
 
 	"pcxxstreams/internal/bench"
-	"pcxxstreams/internal/trace"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -29,24 +29,30 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the per-variant I/O operation profile")
 		traceOut  = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
-		variant   = flag.String("variant", "streams", "variant for -trace/-gantt: unbuffered|manual|streams")
+		metrics   = flag.Bool("metrics", false, "print the dsmon metrics of one run (Prometheus text)")
+		metricsJS = flag.String("metrics-json", "", "write the dsmon metrics snapshot (JSON) to this file ('-' for stdout)")
+		variant   = flag.String("variant", "streams", "variant for -trace/-gantt/-metrics: unbuffered|manual|streams")
 		platforms = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
 		scaling   = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
 		verify    = flag.Bool("verify", false, "verify data integrity after every input phase")
 		check     = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling && *traceOut == "" && !*gantt {
+	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
+		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
 	}
 
-	if *traceOut != "" || *gantt {
+	if *traceOut != "" || *gantt || *metrics || *metricsJS != "" {
 		v := map[string]bench.Variant{
 			"unbuffered": bench.Unbuffered, "manual": bench.ManualBuf, "streams": bench.Streams,
 		}[*variant]
-		rec := trace.New()
+		// A tracing monitor gives one timeline (io + comm + collective +
+		// dstream spans) and the full metric registry from the same run.
+		mon := dsmon.NewTracing()
+		rec := mon.Recorder()
 		if _, err := bench.Seconds(bench.Run{
-			Profile: vtime.Paragon(), NProcs: 4, Segments: 256, Variant: v, Trace: rec,
+			Profile: vtime.Paragon(), NProcs: 4, Segments: 256, Variant: v, Monitor: mon,
 		}); err != nil {
 			fatal(err)
 		}
@@ -70,6 +76,27 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "dstream-bench: wrote %s (%d events) — open in chrome://tracing\n",
 				*traceOut, rec.Len())
+		}
+		if *metrics {
+			fmt.Printf("# dsmon metrics of %q on paragon, 4 procs, 256 segments\n", *variant)
+			if err := mon.WritePrometheus(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *metricsJS != "" {
+			out := os.Stdout
+			if *metricsJS != "-" {
+				f, err := os.Create(*metricsJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := mon.WriteJSON(out); err != nil {
+				fatal(err)
+			}
 		}
 	}
 

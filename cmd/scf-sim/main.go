@@ -37,6 +37,9 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume from the newest valid checkpoint in -dir")
 		platform  = flag.String("platform", "paragon", "cost profile: paragon|challenge|cm5")
 		dist      = flag.String("dist", "cyclic", "distribution: block|cyclic")
+		metrics   = flag.Bool("metrics", false, "print the run's dsmon metrics (Prometheus text) to stderr")
+		metricsJS = flag.String("metrics-json", "", "write the run's dsmon metrics snapshot (JSON) to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace (JSON) of the run to this file")
 	)
 	flag.Parse()
 
@@ -63,7 +66,16 @@ func main() {
 		fs = pfs.NewMemFS(prof)
 	}
 
-	cfg := pcxx.Config{NProcs: *procs, Profile: prof, FS: fs}
+	var mon *pcxx.Monitor
+	if *metrics || *metricsJS != "" || *traceOut != "" {
+		if *traceOut != "" {
+			mon = pcxx.NewTracingMonitor()
+		} else {
+			mon = pcxx.NewMonitor()
+		}
+	}
+
+	cfg := pcxx.Config{NProcs: *procs, Profile: prof, FS: fs, Monitor: mon}
 	res, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
 		d, err := pcxx.NewDistribution(*segments, *procs, mode, 0)
 		if err != nil {
@@ -148,6 +160,37 @@ func main() {
 		*procs, prof.Name, res.Elapsed)
 	if *dir != "" {
 		fmt.Printf("output files in %s — inspect frames with: go run ./cmd/dsdump %s/particles.NNNN\n", *dir, *dir)
+	}
+	if *metrics {
+		if err := mon.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsJS != "" {
+		f, err := os.Create(*metricsJS)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mon.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsJS)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mon.WriteChromeJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s — open in chrome://tracing\n", *traceOut)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"pcxxstreams/internal/collection"
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/manualbuf"
@@ -69,6 +70,9 @@ type Run struct {
 	Verify bool
 	// Trace, when non-nil, records every I/O operation's virtual interval.
 	Trace *trace.Recorder
+	// Monitor, when non-nil, collects dsmon metrics (and, if the monitor
+	// traces, spans) for the whole run.
+	Monitor *dsmon.Monitor
 	// Collectives selects the collective algorithm (Linear default).
 	Collectives collective.Algorithm
 }
@@ -102,6 +106,7 @@ func Measure(r Run) (Measurement, error) {
 		Transport:   r.Transport,
 		FS:          fs,
 		Trace:       r.Trace,
+		Monitor:     r.Monitor,
 		Collectives: r.Collectives,
 	}, func(n *machine.Node) error {
 		// Figure 3 declares the benchmark collection CYCLIC.

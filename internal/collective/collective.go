@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -42,10 +43,55 @@ type Comm struct {
 	ep  *comm.Endpoint
 	seq uint64
 	alg Algorithm
+
+	// Observability. mon is inherited from the endpoint; ops caches the
+	// per-operation metric handles. Like every Comm field, ops is touched
+	// only by the owning node's goroutine.
+	mon *dsmon.Monitor
+	ops map[string]opMetrics
 }
 
-// New wraps an endpoint in a collective communicator.
-func New(ep *comm.Endpoint) *Comm { return &Comm{ep: ep} }
+// opMetrics is the cached pair of handles for one collective operation.
+type opMetrics struct {
+	count *dsmon.Counter
+	lat   *dsmon.Histogram
+}
+
+// New wraps an endpoint in a collective communicator. If the endpoint
+// carries a dsmon.Monitor, collective operations are timed into
+// collective_latency_seconds{op=…} and recorded as collective-category
+// spans.
+func New(ep *comm.Endpoint) *Comm {
+	return &Comm{ep: ep, mon: ep.Monitor(), ops: make(map[string]opMetrics)}
+}
+
+// instrument begins timing one collective operation; the returned func
+// closes the measurement at the operation's exit. Composite operations
+// (Allgather, Allreduce, Alltoallv's closing barrier) nest: each layer is
+// accounted under its own op label, so the histogram is a cost account
+// per primitive, not an exclusive-time decomposition.
+func (c *Comm) instrument(op string) func() {
+	if c.mon == nil {
+		return func() {}
+	}
+	m, ok := c.ops[op]
+	if !ok {
+		reg := c.mon.Registry()
+		m = opMetrics{
+			count: reg.Counter("collective_ops_total", "collective operations entered", "op", op),
+			lat: reg.Histogram("collective_latency_seconds",
+				"virtual seconds from operation entry to group release", dsmon.LatencyBuckets, "op", op),
+		}
+		c.ops[op] = m
+	}
+	m.count.Inc()
+	start := c.ep.Clock().Now()
+	return func() {
+		end := c.ep.Clock().Now()
+		m.lat.Observe(end - start)
+		c.mon.Span(c.Rank(), "collective", op, start, end)
+	}
+}
 
 // Rank returns the caller's rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }
@@ -97,6 +143,7 @@ func (c *Comm) releaseTime(n int, size int) float64 {
 // rank leaves at the same virtual time; the Tree (dissemination) variant
 // releases ranks within O(log P) message latencies of each other.
 func (c *Comm) Barrier() error {
+	defer c.instrument("barrier")()
 	seq := c.next()
 	n := c.Size()
 	if n == 1 {
@@ -136,6 +183,7 @@ func (c *Comm) Barrier() error {
 // Bcast distributes root's data to every rank and returns it (the root
 // returns its own slice). All ranks leave at the same virtual time.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer c.instrument("bcast")()
 	seq := c.next()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -177,6 +225,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // entries in rank order (root's own entry aliases data); other ranks get
 // nil. Gather does not synchronize the senders.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	defer c.instrument("gather")()
 	seq := c.next()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -209,6 +258,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 // group sizes — log P exchange rounds, no root bottleneck — and falls back
 // to gather+tree-broadcast otherwise.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	defer c.instrument("allgather")()
 	if c.alg == Tree && c.Size()&(c.Size()-1) == 0 && c.Size() > 1 {
 		return c.allgatherRD(c.next(), data)
 	}
@@ -232,6 +282,7 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // synchronize with root; ranks do not synchronize with each other (matching
 // NX csend/crecv semantics).
 func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
+	defer c.instrument("scatterv")()
 	seq := c.next()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -265,6 +316,7 @@ func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
 // Size(). All ranks leave synchronized (a barrier closes the exchange, as
 // with a synchronized NX exchange).
 func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
+	defer c.instrument("alltoallv")()
 	n := c.Size()
 	if len(bufs) != n {
 		return nil, fmt.Errorf("collective: alltoallv got %d buffers for %d ranks", len(bufs), n)
@@ -327,6 +379,7 @@ func (op ReduceOp) apply(a, b float64) float64 {
 // Reduce combines every rank's value at root. Non-root ranks receive the
 // zero value and do not synchronize.
 func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
+	defer c.instrument("reduce")()
 	seq := c.next()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -358,6 +411,7 @@ func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
 // Allreduce combines every rank's value and returns the result everywhere.
 // All ranks leave synchronized.
 func (c *Comm) Allreduce(v float64, op ReduceOp) (float64, error) {
+	defer c.instrument("allreduce")()
 	acc, err := c.Reduce(0, v, op)
 	if err != nil {
 		return 0, err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -150,14 +151,49 @@ type Endpoint struct {
 	prof       vtime.Profile
 
 	// Statistics, local to the owning goroutine.
-	sent, received int
-	bytesSent      int64
+	sent, received           int
+	bytesSent, bytesReceived int64
+	sentByPeer, recvByPeer   []int
+
+	// Observability (nil handles are no-ops).
+	mon       *dsmon.Monitor
+	mSent     *dsmon.Counter
+	mRecv     *dsmon.Counter
+	mBytesOut *dsmon.Counter
+	mBytesIn  *dsmon.Counter
+	hMsgSize  *dsmon.Histogram
+	hRecvWait *dsmon.Histogram
 }
 
 // NewEndpoint binds rank's endpoint onto tr.
 func NewEndpoint(rank, size int, tr Transport, clock *vtime.Clock, prof vtime.Profile) *Endpoint {
-	return &Endpoint{rank: rank, size: size, tr: tr, clock: clock, prof: prof}
+	return &Endpoint{
+		rank: rank, size: size, tr: tr, clock: clock, prof: prof,
+		sentByPeer: make([]int, size), recvByPeer: make([]int, size),
+	}
 }
+
+// SetMonitor attaches the observability layer: per-message counters, the
+// message-size histogram, the receive-wait stall histogram, and (when the
+// monitor traces) one comm-category span per Send/Recv. Metric handles are
+// cached here so the per-message cost of monitoring is a few atomic adds.
+func (e *Endpoint) SetMonitor(m *dsmon.Monitor) *Endpoint {
+	e.mon = m
+	reg := m.Registry()
+	e.mSent = reg.Counter("comm_messages_sent_total", "point-to-point messages sent")
+	e.mRecv = reg.Counter("comm_messages_received_total", "point-to-point messages received")
+	e.mBytesOut = reg.Counter("comm_bytes_sent_total", "payload bytes sent")
+	e.mBytesIn = reg.Counter("comm_bytes_received_total", "payload bytes received")
+	e.hMsgSize = reg.Histogram("comm_message_size_bytes",
+		"payload size of sent messages", dsmon.SizeBuckets)
+	e.hRecvWait = reg.Histogram("comm_recv_wait_seconds",
+		"virtual seconds from receive call to message arrival", dsmon.LatencyBuckets)
+	return e
+}
+
+// Monitor returns the attached monitor (nil when unmonitored). The
+// collective layer reads it so one machine flag lights up both layers.
+func (e *Endpoint) Monitor() *dsmon.Monitor { return e.mon }
 
 // Rank returns this endpoint's rank.
 func (e *Endpoint) Rank() int { return e.rank }
@@ -174,9 +210,17 @@ func (e *Endpoint) Profile() vtime.Profile { return e.prof }
 // Send transmits data to rank `to` under `tag`, charging the sender its
 // per-message CPU overhead.
 func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
+	start := e.clock.Now()
 	e.clock.Advance(e.prof.SendOverhead)
 	e.sent++
 	e.bytesSent += int64(len(data))
+	if to >= 0 && to < len(e.sentByPeer) {
+		e.sentByPeer[to]++
+	}
+	e.mSent.Inc()
+	e.mBytesOut.Add(int64(len(data)))
+	e.hMsgSize.Observe(float64(len(data)))
+	e.mon.Span(e.rank, "comm", "Send", start, e.clock.Now())
 	return e.tr.Send(Message{
 		From: e.rank, To: to, Tag: tag,
 		Time: e.clock.Now(), Data: data,
@@ -186,6 +230,7 @@ func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
 // Recv blocks for the matching message and advances the local clock to the
 // message's arrival time: send time + latency + transfer time.
 func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
+	start := e.clock.Now()
 	m, err := e.tr.Recv(e.rank, from, tag)
 	if err != nil {
 		return nil, err
@@ -193,10 +238,35 @@ func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
 	arrival := m.Time + e.prof.MsgLatency + vtime.TransferTime(int64(len(m.Data)), e.prof.MsgBW)
 	e.clock.SyncTo(arrival)
 	e.received++
+	e.bytesReceived += int64(len(m.Data))
+	if from >= 0 && from < len(e.recvByPeer) {
+		e.recvByPeer[from]++
+	}
+	e.mRecv.Inc()
+	e.mBytesIn.Add(int64(len(m.Data)))
+	e.hRecvWait.Observe(e.clock.Now() - start)
+	e.mon.Span(e.rank, "comm", "Recv", start, e.clock.Now())
 	return m.Data, nil
 }
 
-// Stats reports messages sent/received and bytes sent by this endpoint.
-func (e *Endpoint) Stats() (sent, received int, bytesSent int64) {
-	return e.sent, e.received, e.bytesSent
+// Stats is one endpoint's traffic account.
+type Stats struct {
+	// Sent and Received count point-to-point messages.
+	Sent, Received int
+	// BytesSent and BytesReceived sum payload bytes.
+	BytesSent, BytesReceived int64
+	// SentByPeer[r] and ReceivedByPeer[r] count messages exchanged with
+	// rank r — the communication matrix row that reveals funnel hotspots
+	// (everything converging on node 0) at a glance.
+	SentByPeer, ReceivedByPeer []int
+}
+
+// Stats returns a snapshot of this endpoint's traffic counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Sent: e.sent, Received: e.received,
+		BytesSent: e.bytesSent, BytesReceived: e.bytesReceived,
+		SentByPeer:     append([]int(nil), e.sentByPeer...),
+		ReceivedByPeer: append([]int(nil), e.recvByPeer...),
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -301,18 +302,82 @@ func TestTransportsTimeEquivalent(t *testing.T) {
 }
 
 func TestEndpointStats(t *testing.T) {
-	tr := NewChanTransport(2)
+	tr := NewChanTransport(3)
 	defer tr.Close()
-	var c vtime.Clock
-	e := NewEndpoint(0, 2, tr, &c, vtime.Challenge())
+	var c0, c1 vtime.Clock
+	e0 := NewEndpoint(0, 3, tr, &c0, vtime.Challenge())
+	e1 := NewEndpoint(1, 3, tr, &c1, vtime.Challenge())
 	for i := 0; i < 3; i++ {
-		if err := e.Send(1, 1, make([]byte, 10)); err != nil {
+		if err := e0.Send(1, 1, make([]byte, 10)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sent, _, bytes := e.Stats()
-	if sent != 3 || bytes != 30 {
-		t.Fatalf("stats = (%d, %d), want (3, 30)", sent, bytes)
+	if err := e0.Send(2, 1, make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e1.Recv(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e0.Stats()
+	if st.Sent != 4 || st.BytesSent != 35 {
+		t.Fatalf("sender stats = %+v, want Sent 4, BytesSent 35", st)
+	}
+	if st.SentByPeer[1] != 3 || st.SentByPeer[2] != 1 {
+		t.Fatalf("SentByPeer = %v, want [0 3 1]", st.SentByPeer)
+	}
+	rst := e1.Stats()
+	if rst.Received != 3 || rst.BytesReceived != 30 {
+		t.Fatalf("receiver stats = %+v, want Received 3, BytesReceived 30", rst)
+	}
+	if rst.ReceivedByPeer[0] != 3 {
+		t.Fatalf("ReceivedByPeer = %v, want [3 0 0]", rst.ReceivedByPeer)
+	}
+	// Snapshots are copies, not views.
+	rst.ReceivedByPeer[0] = 99
+	if e1.Stats().ReceivedByPeer[0] != 3 {
+		t.Fatal("Stats leaked internal slice")
+	}
+}
+
+func TestEndpointMonitorMetricsAndSpans(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	mon := dsmon.NewTracing()
+	var c0, c1 vtime.Clock
+	e0 := NewEndpoint(0, 2, tr, &c0, vtime.Challenge()).SetMonitor(mon)
+	e1 := NewEndpoint(1, 2, tr, &c1, vtime.Challenge()).SetMonitor(mon)
+	if err := e0.Send(1, 7, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Recv(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	reg := mon.Registry()
+	if got := reg.Counter("comm_messages_sent_total", "").Value(); got != 1 {
+		t.Fatalf("sent counter = %d", got)
+	}
+	if got := reg.Counter("comm_bytes_received_total", "").Value(); got != 128 {
+		t.Fatalf("bytes received counter = %d", got)
+	}
+	if got := reg.Histogram("comm_message_size_bytes", "", dsmon.SizeBuckets).Count(); got != 1 {
+		t.Fatalf("size histogram count = %d", got)
+	}
+	var sendSpans, recvSpans int
+	for _, ev := range mon.Recorder().Events() {
+		if ev.Cat != "comm" {
+			t.Fatalf("unexpected category %q", ev.Cat)
+		}
+		switch ev.Name {
+		case "Send":
+			sendSpans++
+		case "Recv":
+			recvSpans++
+		}
+	}
+	if sendSpans != 1 || recvSpans != 1 {
+		t.Fatalf("spans = %d send, %d recv", sendSpans, recvSpans)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"math"
 	"net"
 	"sync"
+
+	"pcxxstreams/internal/dsmon"
 )
 
 // TCPTransport moves messages over real loopback TCP sockets. Every rank
@@ -24,6 +26,22 @@ type TCPTransport struct {
 	conns []*tcpConn // indexed by sender rank
 	wg    sync.WaitGroup
 	done  chan struct{}
+
+	// Wire-level counters (nil handles are no-ops). Unlike the Endpoint's
+	// payload accounting these measure the real socket traffic: frame
+	// headers included.
+	mFrames    *dsmon.Counter
+	mWireBytes *dsmon.Counter
+}
+
+// SetMonitor attaches wire-level counters: frames written and total bytes
+// on the wire (frame headers included). Call before the machine run
+// starts; the handles are read by sender goroutines without further
+// synchronization.
+func (t *TCPTransport) SetMonitor(m *dsmon.Monitor) {
+	reg := m.Registry()
+	t.mFrames = reg.Counter("comm_tcp_frames_total", "frames written to the loopback socket")
+	t.mWireBytes = reg.Counter("comm_tcp_wire_bytes_total", "bytes written to the loopback socket, frame headers included")
 }
 
 type tcpConn struct {
@@ -148,6 +166,8 @@ func (t *TCPTransport) Send(m Message) error {
 	if err := tc.w.Flush(); err != nil {
 		return fmt.Errorf("comm: tcp send: %w", err)
 	}
+	t.mFrames.Inc()
+	t.mWireBytes.Add(int64(frameHeaderLen + len(m.Data)))
 	return nil
 }
 

@@ -1,0 +1,210 @@
+package dsmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one exposition row: a metric handle plus its desc, flattened
+// so both exposition formats can iterate families uniformly.
+type sample struct {
+	d    desc
+	kind string // "counter" | "gauge" | "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// gather snapshots the registry into samples sorted by (name, labels).
+func (r *Registry) gather() []sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, sample{d: c.d, kind: "counter", c: c})
+	}
+	for _, g := range r.gauges {
+		out = append(out, sample{d: g.d, kind: "gauge", g: g})
+	}
+	for _, h := range r.hists {
+		out = append(out, sample{d: h.d, kind: "histogram", h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].d.name != out[j].d.name {
+			return out[i].d.name < out[j].d.name
+		}
+		return out[i].d.labels < out[j].d.labels
+	})
+	return out
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promName renders `name{labels}` (or bare name when unlabeled), with
+// extra label pairs appended (the histogram `le`).
+func promName(d desc, extra ...string) string {
+	labels := d.labels
+	if e := renderLabels(extra); e != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += e
+	}
+	if labels == "" {
+		return d.name
+	}
+	return d.name + "{" + labels + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per family, then the
+// samples. Deterministic order: families by name, samples by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, s := range r.gather() {
+		if s.d.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				s.d.name, s.d.help, s.d.name, s.kind); err != nil {
+				return err
+			}
+			lastFamily = s.d.name
+		}
+		var err error
+		switch s.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", promName(s.d), s.c.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", promName(s.d), fmtFloat(s.g.Value()))
+		case "histogram":
+			var cum int64
+			for i, b := range s.h.bounds {
+				cum += s.h.buckets[i].Load()
+				if _, err = fmt.Fprintf(w, "%s %d\n",
+					promBucketName(s.d, fmtFloat(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.h.buckets[len(s.h.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s %d\n", promBucketName(s.d, "+Inf"), cum); err != nil {
+				return err
+			}
+			sumD, countD := s.d, s.d
+			sumD.name += "_sum"
+			countD.name += "_count"
+			if _, err = fmt.Fprintf(w, "%s %s\n%s %d\n",
+				promName(sumD), fmtFloat(s.h.Sum()),
+				promName(countD), s.h.Count()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promBucketName renders the `name_bucket{…,le="bound"}` sample name.
+func promBucketName(d desc, le string) string {
+	bd := d
+	bd.name += "_bucket"
+	return promName(bd, "le", le)
+}
+
+// Snapshot is the JSON form of the registry at one instant.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// CounterSnap is one counter's snapshot.
+type CounterSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistSnap is one histogram's snapshot; Buckets holds cumulative counts
+// per upper bound, with the +Inf bucket equal to Count.
+type HistSnap struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []int64           `json:"buckets"`
+}
+
+// labelMap parses the rendered label string back into a map for JSON.
+func labelMap(labels string) map[string]string {
+	if labels == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, `"`)
+	}
+	return out
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistSnap{},
+	}
+	for _, s := range r.gather() {
+		switch s.kind {
+		case "counter":
+			snap.Counters = append(snap.Counters, CounterSnap{
+				Name: s.d.name, Labels: labelMap(s.d.labels), Value: s.c.Value(),
+			})
+		case "gauge":
+			snap.Gauges = append(snap.Gauges, GaugeSnap{
+				Name: s.d.name, Labels: labelMap(s.d.labels), Value: s.g.Value(),
+			})
+		case "histogram":
+			hs := HistSnap{
+				Name: s.d.name, Labels: labelMap(s.d.labels),
+				Count: s.h.Count(), Sum: s.h.Sum(),
+				Bounds:  append([]float64(nil), s.h.bounds...),
+				Buckets: make([]int64, len(s.h.bounds)+1),
+			}
+			var cum int64
+			for i := range s.h.buckets {
+				cum += s.h.buckets[i].Load()
+				hs.Buckets[i] = cum
+			}
+			snap.Histograms = append(snap.Histograms, hs)
+		}
+	}
+	return snap
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,79 @@
+package dsmon
+
+import (
+	"io"
+
+	"pcxxstreams/internal/trace"
+)
+
+// Monitor bundles the two halves of the observability layer: the metrics
+// Registry and an optional trace.Recorder for virtual-time spans. One
+// Monitor serves one machine run; hand it to machine.Config.Monitor and
+// every layer — comm, collective, pfs, dstream — lights up.
+//
+// A nil *Monitor is a valid no-op sink, mirroring trace.Recorder.
+type Monitor struct {
+	reg *Registry
+	rec *trace.Recorder
+}
+
+// New creates a monitor with a metrics registry but no span recorder —
+// counters, gauges and histograms only.
+func New() *Monitor { return &Monitor{reg: NewRegistry()} }
+
+// NewTracing creates a monitor that also records spans into a fresh
+// trace.Recorder, for Chrome-trace / Gantt output.
+func NewTracing() *Monitor { return &Monitor{reg: NewRegistry(), rec: trace.New()} }
+
+// Registry returns the metrics registry (nil on a nil monitor; the
+// registry's handle constructors are nil-safe in turn).
+func (m *Monitor) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Recorder returns the span recorder, nil when the monitor does not trace.
+func (m *Monitor) Recorder() *trace.Recorder {
+	if m == nil {
+		return nil
+	}
+	return m.rec
+}
+
+// SetRecorder redirects spans into r — the machine runner uses it to unify
+// the monitor with an explicitly configured trace recorder, so one
+// timeline carries the io, comm, collective and dstream categories.
+func (m *Monitor) SetRecorder(r *trace.Recorder) {
+	if m == nil {
+		return
+	}
+	m.rec = r
+}
+
+// Span records one virtual-time interval on node's timeline under the
+// given category ("io", "comm", "collective", "dstream"). A no-op when the
+// monitor is nil or does not trace.
+func (m *Monitor) Span(node int, cat, name string, start, end float64) {
+	if m == nil {
+		return
+	}
+	m.rec.Add(node, cat, name, start, end)
+}
+
+// WritePrometheus renders the metrics in Prometheus text format.
+func (m *Monitor) WritePrometheus(w io.Writer) error {
+	return m.Registry().WritePrometheus(w)
+}
+
+// WriteJSON renders the metrics snapshot as JSON.
+func (m *Monitor) WriteJSON(w io.Writer) error {
+	return m.Registry().WriteJSON(w)
+}
+
+// WriteChromeJSON renders the span timeline in Chrome trace-viewer format
+// (empty timeline when the monitor does not trace).
+func (m *Monitor) WriteChromeJSON(w io.Writer) error {
+	return m.Recorder().WriteChromeJSON(w)
+}

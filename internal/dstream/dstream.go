@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/pfs"
@@ -137,6 +138,64 @@ type stream struct {
 	f    *pfs.File
 	name string
 	err  error // sticky
+	met  *streamMetrics
+}
+
+// streamMetrics is the dsmon handle set of one stream. Handles are
+// get-or-create in the run's registry, so every stream of a run
+// aggregates into the same dstream_* families; a run without a monitor
+// gets nil handles, which are no-ops. This is the accounting the paper's
+// tables imply but never expose: how full the per-node buffers get, how
+// long a flush or refill stalls the computation, and — for asynchronous
+// write-behind — how much of each transfer overlapped computation instead
+// of blocking it.
+type streamMetrics struct {
+	mon      *dsmon.Monitor
+	inserts  *dsmon.Counter
+	writes   *dsmon.Counter
+	reads    *dsmon.Counter
+	extracts *dsmon.Counter
+	skips    *dsmon.Counter
+	fill     *dsmon.Gauge
+	// flushBytes / refillBytes observe the per-node payload of each
+	// flush / refill; flushStall / refillStall observe the virtual
+	// seconds the primitive kept the node from computing.
+	flushBytes  *dsmon.Histogram
+	refillBytes *dsmon.Histogram
+	flushStall  *dsmon.Histogram
+	drainStall  *dsmon.Histogram
+	refillStall *dsmon.Histogram
+	// asyncOverlap observes, per asynchronous append, the virtual seconds
+	// the disk kept working after Write returned — the overlapped share;
+	// flushStall{phase="write"} holds the blocked share.
+	asyncOverlap *dsmon.Histogram
+}
+
+// newStreamMetrics binds the dstream metric families in m's registry.
+func newStreamMetrics(m *dsmon.Monitor) *streamMetrics {
+	reg := m.Registry()
+	return &streamMetrics{
+		mon:      m,
+		inserts:  reg.Counter("dstream_inserts_total", "insert operations (one per collection per group)"),
+		writes:   reg.Counter("dstream_writes_total", "records flushed by output streams"),
+		reads:    reg.Counter("dstream_reads_total", "records loaded by input streams"),
+		extracts: reg.Counter("dstream_extracts_total", "extract operations drained from records"),
+		skips:    reg.Counter("dstream_skips_total", "records skipped by input streams"),
+		fill: reg.Gauge("dstream_buffer_fill_bytes",
+			"bytes currently buffered in unwritten interleave groups, all streams of this node's run"),
+		flushBytes: reg.Histogram("dstream_flush_bytes",
+			"per-node data bytes per record flush", dsmon.SizeBuckets),
+		refillBytes: reg.Histogram("dstream_refill_bytes",
+			"per-node data bytes per record refill", dsmon.SizeBuckets),
+		flushStall: reg.Histogram("dstream_flush_stall_seconds",
+			"virtual seconds a write kept the node from computing", dsmon.LatencyBuckets, "phase", "write"),
+		drainStall: reg.Histogram("dstream_flush_stall_seconds",
+			"virtual seconds a write kept the node from computing", dsmon.LatencyBuckets, "phase", "drain"),
+		refillStall: reg.Histogram("dstream_refill_stall_seconds",
+			"virtual seconds a read/unsortedRead kept the node from computing", dsmon.LatencyBuckets),
+		asyncOverlap: reg.Histogram("dstream_async_overlap_seconds",
+			"virtual seconds of disk transfer overlapped with computation per async append", dsmon.LatencyBuckets),
+	}
 }
 
 func (s *stream) fail(err error) error {

@@ -43,7 +43,10 @@ func InputOpts(node *machine.Node, d *distr.Distribution, name string, opts Opti
 	if err != nil {
 		return nil, fmt.Errorf("dstream: open input %q: %w", name, err)
 	}
-	s := &IStream{stream: stream{node: node, dist: d, f: f, name: name}, opts: opts}
+	s := &IStream{
+		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor())},
+		opts:   opts,
+	}
 	// Node 0 validates the file header and broadcasts the verdict.
 	verdict := []byte{1}
 	if node.Rank() == 0 {
@@ -106,6 +109,7 @@ func (s *IStream) read(sorted bool) error {
 	if !s.More() {
 		return s.fail(fmt.Errorf("%w: read past last record", ErrOrder))
 	}
+	start := s.node.Clock().Now()
 
 	// Step 1: record header — node 0 reads, broadcasts.
 	hdr, err := s.bcastBytes(s.cursor, enc.RecordHeaderLen)
@@ -200,6 +204,15 @@ func (s *IStream) read(sorted bool) error {
 	s.haveRec = true
 	s.extracts = 0
 	s.cursor += h.TotalBytes()
+	end := s.node.Clock().Now()
+	s.met.reads.Inc()
+	s.met.refillBytes.Observe(float64(len(chunk)))
+	s.met.refillStall.Observe(end - start)
+	op := "istream.Read "
+	if !sorted {
+		op = "istream.UnsortedRead "
+	}
+	s.met.mon.Span(s.node.Rank(), "dstream", op+s.name, start, end)
 	return nil
 }
 
@@ -320,6 +333,7 @@ func (s *IStream) Skip() error {
 	s.cursor += h.TotalBytes()
 	s.haveRec = false
 	s.elemBufs = nil
+	s.met.skips.Inc()
 	return nil
 }
 
@@ -366,6 +380,7 @@ func (s *IStream) ExtractFunc(take func(local int, d *Decoder)) error {
 		}
 	}
 	s.extracts++
+	s.met.extracts.Inc()
 	s.node.Compute(float64(len(s.elemBufs)) * s.node.Profile().PerElemCost)
 	return nil
 }

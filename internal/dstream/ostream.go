@@ -20,7 +20,10 @@ type OStream struct {
 	// the last write; each entry holds the encoded payload of every local
 	// element, in local order.
 	group [][][]byte
-	wrote int // records written
+	// groupBytes tracks the encoded payload bytes buffered in group — the
+	// buffer fill level the dstream_buffer_fill_bytes gauge reports.
+	groupBytes int64
+	wrote      int // records written
 	// pending is the completion time of the latest asynchronous write; the
 	// clock must reach it before the stream's data is durable.
 	pending float64
@@ -43,7 +46,7 @@ func OutputOpts(node *machine.Node, d *distr.Distribution, name string, opts Opt
 		return nil, fmt.Errorf("dstream: open output %q: %w", name, err)
 	}
 	s := &OStream{
-		stream: stream{node: node, dist: d, f: f, name: name},
+		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor())},
 		opts:   opts,
 	}
 	// Node 0 stamps (or, in append mode, validates) the file header; the
@@ -115,14 +118,19 @@ func (s *OStream) InsertFunc(fill func(local int, e *Encoder)) error {
 	n := s.LocalLen()
 	arr := make([][]byte, n)
 	var e Encoder
+	var arrBytes int64
 	for l := 0; l < n; l++ {
 		e.Reset()
 		fill(l, &e)
 		p := make([]byte, e.Len())
 		copy(p, e.Bytes())
 		arr[l] = p
+		arrBytes += int64(len(p))
 	}
 	s.group = append(s.group, arr)
+	s.groupBytes += arrBytes
+	s.met.inserts.Inc()
+	s.met.fill.Add(float64(arrBytes))
 	s.node.Compute(float64(n) * s.node.Profile().PerElemCost)
 	return nil
 }
@@ -140,6 +148,7 @@ func (s *OStream) Write() error {
 	if len(s.group) == 0 {
 		return s.fail(fmt.Errorf("%w: write with no pending inserts", ErrOrder))
 	}
+	start := s.node.Clock().Now()
 	nArrays := len(s.group)
 	nLocal := s.LocalLen()
 
@@ -162,6 +171,8 @@ func (s *OStream) Write() error {
 	}
 	s.node.CopyCost(int64(localBytes) + int64(4*nLocal))
 	s.group = nil
+	s.met.fill.Add(-float64(s.groupBytes))
+	s.groupBytes = 0
 
 	funnel := s.opts.Meta == MetaFunnel ||
 		(s.opts.Meta == MetaAuto && s.dist.N < s.opts.funnelThreshold())
@@ -176,6 +187,11 @@ func (s *OStream) Write() error {
 		}
 	}
 	s.wrote++
+	end := s.node.Clock().Now()
+	s.met.writes.Inc()
+	s.met.flushBytes.Observe(float64(localBytes))
+	s.met.flushStall.Observe(end - start)
+	s.met.mon.Span(s.node.Rank(), "dstream", "ostream.Write "+s.name, start, end)
 	return nil
 }
 
@@ -228,6 +244,12 @@ func (s *OStream) appendRecordBlock(block []byte, what string) error {
 		if completion > s.pending {
 			s.pending = completion
 		}
+		// The disk keeps transferring past this point while the node
+		// computes: the write-behind overlap the paper's synchronous
+		// primitive cannot have.
+		if overlap := completion - s.node.Clock().Now(); overlap > 0 {
+			s.met.asyncOverlap.Observe(overlap)
+		}
 		return nil
 	}
 	if _, err := s.f.ParallelAppend(block); err != nil {
@@ -239,6 +261,11 @@ func (s *OStream) appendRecordBlock(block []byte, what string) error {
 // Drain blocks (in virtual time) until every asynchronous write has landed
 // on disk. A no-op for synchronous streams.
 func (s *OStream) Drain() {
+	now := s.node.Clock().Now()
+	if stall := s.pending - now; stall > 0 {
+		s.met.drainStall.Observe(stall)
+		s.met.mon.Span(s.node.Rank(), "dstream", "ostream.Drain "+s.name, now, s.pending)
+	}
 	s.node.Clock().SyncTo(s.pending)
 }
 

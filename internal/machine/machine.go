@@ -13,6 +13,7 @@ import (
 
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
@@ -39,6 +40,12 @@ type Config struct {
 	// Trace, when non-nil, records the virtual-time interval of every file
 	// system operation of the run.
 	Trace *trace.Recorder
+	// Monitor, when non-nil, lights up the whole stack's observability:
+	// comm message counters and size/wait histograms, collective latency
+	// histograms, pfs per-operation accounts, and dstream buffer/stall
+	// metrics — plus comm/collective/dstream spans on the monitor's
+	// recorder (or on Trace, when both are set).
+	Monitor *dsmon.Monitor
 	// Collectives selects the collective algorithm (Linear by default;
 	// Tree scales to large node counts).
 	Collectives collective.Algorithm
@@ -53,6 +60,7 @@ type Node struct {
 	coll  *collective.Comm
 	fs    *pfs.FileSystem
 	prof  vtime.Profile
+	mon   *dsmon.Monitor
 }
 
 // Rank returns this node's rank in [0, Size()).
@@ -73,6 +81,10 @@ func (n *Node) FS() *pfs.FileSystem { return n.fs }
 
 // Profile returns the platform cost profile.
 func (n *Node) Profile() vtime.Profile { return n.prof }
+
+// Monitor returns the run's observability monitor (nil when the run is
+// unmonitored; dsmon handles are nil-safe so callers need no check).
+func (n *Node) Monitor() *dsmon.Monitor { return n.mon }
 
 // Open opens a parallel file on this node (every node must open the file to
 // use its collective operations).
@@ -137,14 +149,27 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 	fs.ResetAbort()
 	if cfg.Trace != nil {
 		fs.SetRecorder(cfg.Trace)
+		// One timeline for everything: spans from comm, collective and
+		// dstream join the file system's io events on the explicit
+		// recorder.
+		cfg.Monitor.SetRecorder(cfg.Trace)
+	}
+	if cfg.Monitor != nil {
+		fs.SetMonitor(cfg.Monitor)
+		if tt, ok := tr.(*comm.TCPTransport); ok {
+			tt.SetMonitor(cfg.Monitor)
+		}
+		if r := cfg.Monitor.Recorder(); r != nil && cfg.Trace == nil {
+			fs.SetRecorder(r)
+		}
 	}
 
 	nodes := make([]*Node, cfg.NProcs)
 	errs := make([]error, cfg.NProcs)
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.NProcs; r++ {
-		n := &Node{rank: r, size: cfg.NProcs, fs: fs, prof: cfg.Profile}
-		n.ep = comm.NewEndpoint(r, cfg.NProcs, tr, &n.clock, cfg.Profile)
+		n := &Node{rank: r, size: cfg.NProcs, fs: fs, prof: cfg.Profile, mon: cfg.Monitor}
+		n.ep = comm.NewEndpoint(r, cfg.NProcs, tr, &n.clock, cfg.Profile).SetMonitor(cfg.Monitor)
 		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives)
 		nodes[r] = n
 	}
@@ -175,9 +200,9 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 		if res.NodeTimes[r] > res.Elapsed {
 			res.Elapsed = res.NodeTimes[r]
 		}
-		sent, _, bytes := n.ep.Stats()
-		res.MessagesSent += sent
-		res.BytesSent += bytes
+		st := n.ep.Stats()
+		res.MessagesSent += st.Sent
+		res.BytesSent += st.BytesSent
 	}
 	for r, err := range errs {
 		if err != nil {

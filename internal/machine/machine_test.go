@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
@@ -244,6 +245,81 @@ func TestTraceCapturesOps(t *testing.T) {
 	}
 	if len(nodes) != 3 {
 		t.Fatalf("events span %d nodes, want 3", len(nodes))
+	}
+}
+
+// TestMonitorLightsUpStack: one Monitor in the config yields metrics from
+// the comm, collective and pfs layers plus spans from all of them on the
+// monitor's recorder — the single-flag contract of the observability layer.
+func TestMonitorLightsUpStack(t *testing.T) {
+	mon := dsmon.NewTracing()
+	_, err := Run(Config{NProcs: 3, Profile: vtime.Challenge(), Monitor: mon}, func(n *Node) error {
+		f, err := n.Open("m", true)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if n.Rank() == 0 {
+			if err := f.WriteAt([]byte("x"), 0); err != nil {
+				return err
+			}
+		}
+		if _, err := f.ParallelAppend([]byte{byte(n.Rank())}); err != nil {
+			return err
+		}
+		if n.Rank() == 0 {
+			return n.Comm().Endpoint().Send(1, 7, []byte("hi"))
+		}
+		if n.Rank() == 1 {
+			_, err := n.Comm().Endpoint().Recv(0, 7)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mon.Registry().Snapshot()
+	counts := map[string]int64{}
+	for _, c := range snap.Counters {
+		counts[c.Name] += c.Value
+	}
+	if counts["comm_messages_sent_total"] != 1 {
+		t.Fatalf("comm_messages_sent_total = %d, want 1 (%+v)", counts["comm_messages_sent_total"], snap.Counters)
+	}
+	if counts["pfs_ops_total"] == 0 {
+		t.Fatalf("pfs_ops_total never incremented: %+v", snap.Counters)
+	}
+	cats := map[string]bool{}
+	for _, e := range mon.Recorder().Events() {
+		cats[e.Cat] = true
+	}
+	for _, want := range []string{"io", "comm", "collective"} {
+		if !cats[want] {
+			t.Fatalf("no %q spans recorded; categories = %v", want, cats)
+		}
+	}
+}
+
+// TestMonitorAdoptsExplicitTrace: with both Trace and Monitor set, spans
+// land on the explicit recorder (one unified timeline).
+func TestMonitorAdoptsExplicitTrace(t *testing.T) {
+	rec := trace.New()
+	mon := dsmon.New()
+	_, err := Run(Config{NProcs: 2, Profile: vtime.Challenge(), Trace: rec, Monitor: mon}, func(n *Node) error {
+		return n.Comm().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Cat == "collective" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("collective spans missing from explicit recorder: %+v", rec.Events())
 	}
 }
 

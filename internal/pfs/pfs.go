@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
 )
@@ -24,6 +25,60 @@ type FileSystem struct {
 
 	counters ioCounters
 	rec      *trace.Recorder
+	met      pfsMetrics
+}
+
+// pfsOpMetrics is the dsmon handle set for one operation kind. The zero
+// value (all nil) is inert, so unmonitored file systems pay nothing.
+type pfsOpMetrics struct {
+	ops   *dsmon.Counter
+	bytes *dsmon.Counter
+	size  *dsmon.Histogram
+	dur   *dsmon.Histogram
+}
+
+// record accounts one executed operation: count, bytes moved, the
+// transfer-size histogram, and the virtual duration from first issue to
+// completion.
+func (om pfsOpMetrics) record(bytes int64, start, end float64) {
+	om.ops.Inc()
+	om.bytes.Add(bytes)
+	om.size.Observe(float64(bytes))
+	om.dur.Observe(end - start)
+}
+
+// pfsMetrics holds one handle set per PFS operation kind.
+type pfsMetrics struct {
+	open, writeAt, readAt, pappend, pread, csync pfsOpMetrics
+}
+
+// SetMonitor attaches the observability layer: per-operation counters and
+// the size/duration histograms under the pfs_* families. If the monitor
+// traces and no explicit recorder was set, the monitor's recorder also
+// becomes the span sink. Call before the machine run starts.
+func (fs *FileSystem) SetMonitor(m *dsmon.Monitor) {
+	reg := m.Registry()
+	mk := func(op string) pfsOpMetrics {
+		return pfsOpMetrics{
+			ops:   reg.Counter("pfs_ops_total", "file-system operations executed", "op", op),
+			bytes: reg.Counter("pfs_io_bytes_total", "bytes moved, whole-group total per collective op", "op", op),
+			size: reg.Histogram("pfs_io_size_bytes",
+				"bytes moved per operation (whole group for collective ops)", dsmon.SizeBuckets, "op", op),
+			dur: reg.Histogram("pfs_op_seconds",
+				"virtual seconds from first arrival to completion", dsmon.LatencyBuckets, "op", op),
+		}
+	}
+	fs.met = pfsMetrics{
+		open:    mk("open"),
+		writeAt: mk("write_at"),
+		readAt:  mk("read_at"),
+		pappend: mk("parallel_append"),
+		pread:   mk("parallel_read"),
+		csync:   mk("control_sync"),
+	}
+	if r := m.Recorder(); r != nil && fs.rec == nil {
+		fs.rec = r
+	}
 }
 
 // NewFileSystem builds a file system with the given cost profile and
@@ -169,8 +224,10 @@ func (fs *FileSystem) Open(name string, nprocs, rank int, clock *vtime.Clock, tr
 	f.refs++
 	f.mu.Unlock()
 
+	start := clock.Now()
 	clock.Advance(fs.prof.OpenLatency)
 	fs.counters.opens.Add(1)
+	fs.met.open.record(0, start, clock.Now())
 	return &File{fs: fs, f: f, rank: rank, nprocs: nprocs, clock: clock}, nil
 }
 
@@ -219,6 +276,7 @@ func (h *File) WriteAt(p []byte, off int64) error {
 	h.fs.rec.Add(h.rank, "io", "WriteAt "+h.f.name, start, h.clock.Now())
 	h.fs.counters.independentWrites.Add(1)
 	h.fs.counters.bytesWritten.Add(int64(len(p)))
+	h.fs.met.writeAt.record(int64(len(p)), start, h.clock.Now())
 	return nil
 }
 
@@ -238,6 +296,7 @@ func (h *File) ReadAt(p []byte, off int64) error {
 	h.fs.rec.Add(h.rank, "io", "ReadAt "+h.f.name, start, h.clock.Now())
 	h.fs.counters.independentReads.Add(1)
 	h.fs.counters.bytesRead.Add(int64(len(p)))
+	h.fs.met.readAt.record(int64(len(p)), start, h.clock.Now())
 	return nil
 }
 
@@ -366,6 +425,7 @@ func (h *File) parallelAppend(block []byte, syncClock bool) (int64, float64, err
 			}
 			h.fs.counters.parallelAppends.Add(1)
 			h.fs.counters.bytesWritten.Add(total)
+			h.fs.met.pappend.record(total, minOf(r.arrivals), r.completion)
 		},
 	)
 	if err != nil {
@@ -403,6 +463,7 @@ func (h *File) ParallelRead(rg Range) ([]byte, error) {
 			}
 			h.fs.counters.parallelReads.Add(1)
 			h.fs.counters.bytesRead.Add(total)
+			h.fs.met.pread.record(total, minOf(r.arrivals), r.completion)
 		},
 	)
 	if err != nil {
@@ -420,9 +481,22 @@ func (h *File) ControlSync() error {
 		func(r *rendezvous) {
 			r.completion = h.f.d.control(r.arrivals)
 			h.fs.counters.controlSyncs.Add(1)
+			h.fs.met.csync.record(0, minOf(r.arrivals), r.completion)
 		},
 	)
 	return err
+}
+
+// minOf returns the earliest of a non-empty slice of arrival times — the
+// start of a collective operation's span for the duration histograms.
+func minOf(ts []float64) float64 {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
 }
 
 // Image returns a copy of the full current file image (tools/tests).

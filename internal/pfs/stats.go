@@ -46,7 +46,20 @@ func (c *ioCounters) snapshot() IOStats {
 func (fs *FileSystem) Stats() IOStats { return fs.counters.snapshot() }
 
 // ResetStats zeroes the operation counters (between measurement phases).
-func (fs *FileSystem) ResetStats() { fs.counters = ioCounters{} }
+// Each counter is stored to zero individually: reassigning the whole
+// ioCounters struct would copy atomic.Int64 values and race with
+// concurrent increments from node goroutines.
+func (fs *FileSystem) ResetStats() {
+	c := &fs.counters
+	c.opens.Store(0)
+	c.independentWrites.Store(0)
+	c.independentReads.Store(0)
+	c.parallelAppends.Store(0)
+	c.parallelReads.Store(0)
+	c.controlSyncs.Store(0)
+	c.bytesWritten.Store(0)
+	c.bytesRead.Store(0)
+}
 
 // TotalOps returns the total number of I/O calls of any kind.
 func (s IOStats) TotalOps() int64 {

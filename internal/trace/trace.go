@@ -197,14 +197,19 @@ func (r *Recorder) WriteGantt(w io.Writer, width int) error {
 	}
 	for _, e := range evs {
 		mark := byte('#')
-		if e.Cat == "collective" {
+		switch e.Cat {
+		case "collective":
 			mark = '='
+		case "comm":
+			mark = '-'
+		case "dstream":
+			mark = '~'
 		}
 		for c := col(e.Start); c <= col(e.End); c++ {
 			rows[e.Node][c] = mark
 		}
 	}
-	fmt.Fprintf(w, "virtual time 0 .. %.4fs  (# independent I/O, = collective op)\n", maxT)
+	fmt.Fprintf(w, "virtual time 0 .. %.4fs  (# independent I/O, = collective op, - message, ~ stream op)\n", maxT)
 	for n, row := range rows {
 		if _, err := fmt.Fprintf(w, "node %2d |%s|\n", n, row); err != nil {
 			return err

@@ -28,6 +28,7 @@ import (
 	"pcxxstreams/internal/collection"
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/grid"
 	"pcxxstreams/internal/machine"
@@ -76,6 +77,20 @@ type TraceRecorder = trace.Recorder
 
 // NewTraceRecorder creates an empty trace recorder.
 var NewTraceRecorder = trace.New
+
+// Monitor is the run-wide observability handle (Config.Monitor): a metric
+// registry covering comm, collective, pfs and dstream, plus — when created
+// with NewTracingMonitor — a trace recorder that adds comm/collective/
+// dstream spans to the io timeline. Expose with WritePrometheus, WriteJSON
+// or WriteChromeJSON.
+type Monitor = dsmon.Monitor
+
+var (
+	// NewMonitor creates a metrics-only monitor.
+	NewMonitor = dsmon.New
+	// NewTracingMonitor creates a monitor that also records spans.
+	NewTracingMonitor = dsmon.NewTracing
+)
 
 // Run executes body SPMD-style on every node of the configured machine.
 var Run = machine.Run
