@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables
+.PHONY: build test vet race check bench tables chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,22 @@ tables:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench
+
+# The chaos oracle: the full SCF write→read pipeline under seeded fault
+# schedules. Override the campaign with e.g.
+#   make chaos CHAOS_SEED=1000 CHAOS_N=2000
+CHAOS_SEED ?= 1
+CHAOS_N    ?= 200
+
+chaos:
+	$(GO) test ./internal/chaos/ -v -run TestChaos -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
+# Short fuzz pass over the wire codec and the schema decoder (the committed
+# corpora under testdata/fuzz replay in every plain `go test` run).
+fuzz:
+	$(GO) test ./internal/enc/ -fuzz FuzzRoundTrip -fuzztime 30s
+	$(GO) test ./internal/enc/ -fuzz FuzzReaderNeverPanics -fuzztime 30s
+	$(GO) test ./internal/enc/ -fuzz FuzzRecordHeader -fuzztime 30s
+	$(GO) test ./internal/dschema/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/dschema/ -fuzz FuzzDecodeElement -fuzztime 30s
+	$(GO) test ./internal/dschema/ -fuzz FuzzSchemaRoundTrip -fuzztime 30s

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sync"
+
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/pfs"
+)
+
+// Backend wraps any pfs.Backend with seeded transient storage faults:
+// outright read/write errors and short transfers, all wrapping
+// pfs.ErrTransient so the file system's retry layer absorbs them. The wrap
+// order matters: a chaos Backend sits *under* the file system's resilient
+// layer (it wraps the raw store inside the factory), whereas the permanent
+// pfs.FaultyBackend wraps *outside* it, so only chaos faults are retried.
+type Backend struct {
+	inner pfs.Backend
+	rates Rates
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	inj pfsInjects
+}
+
+// pfsInjects caches the per-kind injection counters.
+type pfsInjects struct {
+	readErr, writeErr, shortRead, shortWrite *dsmon.Counter
+}
+
+func newPFSInjects(mon *dsmon.Monitor) pfsInjects {
+	reg := mon.Registry()
+	k := func(kind string) *dsmon.Counter {
+		return reg.Counter("chaos_pfs_inject_total",
+			"storage faults injected by the chaos layer", "kind", kind)
+	}
+	return pfsInjects{
+		readErr: k("read_err"), writeErr: k("write_err"),
+		shortRead: k("short_read"), shortWrite: k("short_write"),
+	}
+}
+
+// NewBackend wraps inner under the given schedule seed and rates. mon may
+// be nil (injections go uncounted).
+func NewBackend(inner pfs.Backend, seed int64, rates Rates, mon *dsmon.Monitor) *Backend {
+	return &Backend{
+		inner: inner,
+		rates: rates,
+		rng:   rand.New(rand.NewPCG(mix(uint64(seed), 0xd15c), 0xbac7e)),
+		inj:   newPFSInjects(mon),
+	}
+}
+
+// WrapFactory returns a factory whose backends are chaos-wrapped, each file
+// drawing from its own PRNG stream derived from the schedule seed and the
+// file name (so open order does not change the schedule).
+func WrapFactory(factory pfs.BackendFactory, seed int64, rates Rates, mon *dsmon.Monitor) pfs.BackendFactory {
+	return func(name string) (pfs.Backend, error) {
+		b, err := factory(name)
+		if err != nil {
+			return nil, err
+		}
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		return NewBackend(b, seed^int64(h.Sum64()), rates, mon), nil
+	}
+}
+
+// fault draws one uniform sample and maps it to (errFault, shortFault) for
+// an operation on n bytes; cut is the prefix length of a short transfer.
+func (b *Backend) fault(errRate, shortRate float64, n int) (errFault bool, cut int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.rng.Float64()
+	if r < errRate {
+		return true, 0
+	}
+	if r < errRate+shortRate && n > 1 {
+		return false, 1 + b.rng.IntN(n-1)
+	}
+	return false, 0
+}
+
+// ReadAt implements io.ReaderAt with injected transient faults.
+func (b *Backend) ReadAt(p []byte, off int64) (int, error) {
+	errFault, cut := b.fault(b.rates.ReadErr, b.rates.ShortRead, len(p))
+	if errFault {
+		b.inj.readErr.Inc()
+		return 0, fmt.Errorf("%w: chaos read error at %d", pfs.ErrTransient, off)
+	}
+	if cut > 0 {
+		n, err := b.inner.ReadAt(p[:cut], off)
+		if err != nil {
+			return n, err // a real error (e.g. EOF) outranks the injection
+		}
+		b.inj.shortRead.Inc()
+		return n, fmt.Errorf("%w: chaos short read %d of %d at %d", pfs.ErrTransient, n, len(p), off)
+	}
+	return b.inner.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt with injected transient faults.
+func (b *Backend) WriteAt(p []byte, off int64) (int, error) {
+	errFault, cut := b.fault(b.rates.WriteErr, b.rates.ShortWrite, len(p))
+	if errFault {
+		b.inj.writeErr.Inc()
+		return 0, fmt.Errorf("%w: chaos write error at %d", pfs.ErrTransient, off)
+	}
+	if cut > 0 {
+		n, err := b.inner.WriteAt(p[:cut], off)
+		if err != nil {
+			return n, err
+		}
+		b.inj.shortWrite.Inc()
+		return n, fmt.Errorf("%w: chaos short write %d of %d at %d", pfs.ErrTransient, n, len(p), off)
+	}
+	return b.inner.WriteAt(p, off)
+}
+
+// Size implements pfs.Backend.
+func (b *Backend) Size() int64 { return b.inner.Size() }
+
+// Truncate implements pfs.Backend (no faults: truncate is metadata, and the
+// stack's truncate paths have no retry story to exercise).
+func (b *Backend) Truncate(size int64) error { return b.inner.Truncate(size) }
+
+// Close implements pfs.Backend.
+func (b *Backend) Close() error { return b.inner.Close() }

@@ -1,0 +1,337 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+// Config describes one oracle pipeline: an SCF collection written through a
+// d/stream under chaos and read back (with a different distribution, so the
+// read side's redistribution traffic is also exposed to the fault schedule).
+type Config struct {
+	// NProcs is the machine size (default 4).
+	NProcs int
+	// Segments is the SCF collection length (default 2·NProcs+1, so block
+	// and cyclic layouts disagree and at least one rank is uneven).
+	Segments int
+	// Particles per segment (default 16).
+	Particles int
+	// Records is how many insert+write rounds the writer performs
+	// (default 2).
+	Records int
+	// Transport selects the underlying transport (chan by default).
+	Transport machine.TransportKind
+	// Rates is the fault schedule (DefaultRates() when zero — detected by
+	// an all-zero struct).
+	Rates Rates
+	// Watchdog bounds one seed's real run time; exceeding it is the
+	// forbidden outcome, OutcomeHang (default 60s).
+	Watchdog time.Duration
+	// RecvDeadline bounds each blocking receive in real time (default 5s);
+	// with the endpoint retry budget it is the in-stack hang backstop, one
+	// level below the watchdog.
+	RecvDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.NProcs <= 0 {
+		c.NProcs = 4
+	}
+	if c.Segments <= 0 {
+		c.Segments = 2*c.NProcs + 1
+	}
+	if c.Particles <= 0 {
+		c.Particles = 16
+	}
+	if c.Records <= 0 {
+		c.Records = 2
+	}
+	if c.Rates == (Rates{}) {
+		c.Rates = DefaultRates()
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 60 * time.Second
+	}
+	if c.RecvDeadline <= 0 {
+		c.RecvDeadline = 5 * time.Second
+	}
+	return c
+}
+
+// Outcome classifies one seeded run against the resilience trichotomy.
+type Outcome int
+
+const (
+	// OutcomeOK: the pipeline completed and every byte — the file image and
+	// every extracted segment — matched the fault-free reference.
+	OutcomeOK Outcome = iota
+	// OutcomeCleanError: the pipeline failed, but with an error on every
+	// rank (machine.Run returned; nobody hung) and no corruption was
+	// observed. Permitted: retry budgets are finite.
+	OutcomeCleanError
+	// OutcomeCorrupt: the pipeline "succeeded" but produced wrong bytes —
+	// the failure mode the d/stream transparency guarantee forbids.
+	OutcomeCorrupt
+	// OutcomeHang: the pipeline outlived the watchdog — the other
+	// forbidden failure mode.
+	OutcomeHang
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCleanError:
+		return "clean-error"
+	case OutcomeCorrupt:
+		return "CORRUPT"
+	case OutcomeHang:
+		return "HANG"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// errCorrupt marks in-band corruption detected by the pipeline body (an
+// extracted segment differing from what was written).
+var errCorrupt = errors.New("chaos: extracted data differs from inserted data")
+
+const harnessFile = "chaos-scf"
+
+// pipeline is the SPMD body of one oracle run: fill an SCF collection
+// (cyclic layout), write Records records through an output d/stream, read
+// them back on a block layout (forcing redistribution), and verify every
+// extracted segment against the deterministic fill.
+func pipeline(cfg Config) func(*machine.Node) error {
+	return func(n *machine.Node) error {
+		dw, err := distr.New(cfg.Segments, cfg.NProcs, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		src, err := collection.New[scf.Segment](n, dw)
+		if err != nil {
+			return err
+		}
+		src.Apply(func(g int, s *scf.Segment) { s.Fill(g, cfg.Particles) })
+
+		out, err := dstream.Output(n, dw, harnessFile)
+		if err != nil {
+			return err
+		}
+		for rec := 0; rec < cfg.Records; rec++ {
+			if err := dstream.Insert[scf.Segment](out, src); err != nil {
+				return err
+			}
+			if err := out.Write(); err != nil {
+				return err
+			}
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+
+		dr, err := distr.New(cfg.Segments, cfg.NProcs, distr.Block, 0)
+		if err != nil {
+			return err
+		}
+		back, err := collection.New[scf.Segment](n, dr)
+		if err != nil {
+			return err
+		}
+		in, err := dstream.Input(n, dr, harnessFile)
+		if err != nil {
+			return err
+		}
+		for rec := 0; rec < cfg.Records; rec++ {
+			if err := in.Read(); err != nil {
+				return err
+			}
+			if err := dstream.Extract[scf.Segment](in, back); err != nil {
+				return err
+			}
+			var bad error
+			back.Apply(func(g int, s *scf.Segment) {
+				var want scf.Segment
+				want.Fill(g, cfg.Particles)
+				if !s.Equal(&want) && bad == nil {
+					bad = fmt.Errorf("%w: record %d global %d on rank %d", errCorrupt, rec, g, n.Rank())
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+		return in.Close()
+	}
+}
+
+// Reference runs the pipeline fault-free and returns the resulting file
+// image — the byte-identity baseline every chaotic run is compared to. It
+// errors if the fault-free pipeline itself fails (a broken stack, not a
+// chaos finding).
+func Reference(cfg Config) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	fs := pfs.NewMemFS(vtime.Paragon())
+	_, err := machine.Run(machine.Config{
+		NProcs:    cfg.NProcs,
+		Profile:   vtime.Paragon(),
+		Transport: cfg.Transport,
+		FS:        fs,
+	}, pipeline(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fault-free reference run failed: %w", err)
+	}
+	return fs.Image(harnessFile)
+}
+
+// SeedResult is one seeded schedule's verdict.
+type SeedResult struct {
+	Seed    int64
+	Outcome Outcome
+	// Err is the pipeline error for OutcomeCleanError / OutcomeCorrupt.
+	Err error
+	// Injects maps "comm:<kind>" and "pfs:<kind>" to the number of faults
+	// the schedule actually injected.
+	Injects map[string]int64
+}
+
+var commKinds = []string{"drop", "send_err", "duplicate", "delay", "reorder", "recv_err"}
+var pfsKinds = []string{"read_err", "write_err", "short_read", "short_write"}
+
+// injectCounts reads the chaos injection counters back out of the run's
+// registry (get-or-create returns the same handles the injectors bumped).
+func injectCounts(mon *dsmon.Monitor) map[string]int64 {
+	reg := mon.Registry()
+	out := make(map[string]int64, len(commKinds)+len(pfsKinds))
+	for _, k := range commKinds {
+		out["comm:"+k] = reg.Counter("chaos_comm_inject_total",
+			"transport faults injected by the chaos layer", "kind", k).Value()
+	}
+	for _, k := range pfsKinds {
+		out["pfs:"+k] = reg.Counter("chaos_pfs_inject_total",
+			"storage faults injected by the chaos layer", "kind", k).Value()
+	}
+	return out
+}
+
+// RunSeed executes the pipeline under one seeded fault schedule and
+// classifies the outcome against refImage (from Reference). On OutcomeHang
+// the run's goroutines are abandoned — callers should treat a hang as
+// fatal, not continue a long campaign around leaked machinery.
+func RunSeed(cfg Config, seed int64, refImage []byte) SeedResult {
+	cfg = cfg.withDefaults()
+	mon := dsmon.New()
+	fs := pfs.NewFileSystem(vtime.Paragon(),
+		WrapFactory(pfs.MemFactory(), seed, cfg.Rates, mon))
+
+	res := SeedResult{Seed: seed}
+	done := make(chan error, 1)
+	go func() {
+		_, err := machine.Run(machine.Config{
+			NProcs:    cfg.NProcs,
+			Profile:   vtime.Paragon(),
+			Transport: cfg.Transport,
+			FS:        fs,
+			Monitor:   mon,
+			WrapTransport: func(tr comm.Transport) comm.Transport {
+				return NewTransport(tr, cfg.NProcs, seed, cfg.Rates, mon)
+			},
+			RecvDeadline: cfg.RecvDeadline,
+		}, pipeline(cfg))
+		done <- err
+	}()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(cfg.Watchdog):
+		res.Outcome = OutcomeHang
+		res.Err = fmt.Errorf("chaos: seed %d outlived the %v watchdog", seed, cfg.Watchdog)
+		res.Injects = injectCounts(mon)
+		return res
+	}
+	res.Injects = injectCounts(mon)
+
+	switch {
+	case err == nil:
+		img, ierr := fs.Image(harnessFile)
+		if ierr != nil {
+			res.Outcome = OutcomeCleanError
+			res.Err = ierr
+		} else if !bytes.Equal(img, refImage) {
+			res.Outcome = OutcomeCorrupt
+			res.Err = fmt.Errorf("chaos: seed %d file image differs from fault-free reference (%d vs %d bytes)",
+				seed, len(img), len(refImage))
+		} else {
+			res.Outcome = OutcomeOK
+		}
+	case errors.Is(err, errCorrupt):
+		res.Outcome = OutcomeCorrupt
+		res.Err = err
+	default:
+		res.Outcome = OutcomeCleanError
+		res.Err = err
+	}
+	return res
+}
+
+// Report aggregates a seed campaign.
+type Report struct {
+	Results                              []SeedResult
+	OK, CleanErrors, Corruptions, Hangs  int
+	// Injects sums each fault kind's injections over the whole campaign.
+	Injects map[string]int64
+}
+
+// Add folds one seed's result into the report.
+func (r *Report) Add(sr SeedResult) {
+	r.Results = append(r.Results, sr)
+	switch sr.Outcome {
+	case OutcomeOK:
+		r.OK++
+	case OutcomeCleanError:
+		r.CleanErrors++
+	case OutcomeCorrupt:
+		r.Corruptions++
+	case OutcomeHang:
+		r.Hangs++
+	}
+	if r.Injects == nil {
+		r.Injects = make(map[string]int64)
+	}
+	for k, v := range sr.Injects {
+		r.Injects[k] += v
+	}
+}
+
+// RunSeeds runs seeds [first, first+n) and aggregates the verdicts. It
+// stops early on the first hang (the machinery behind a hang is leaked, so
+// continuing would stack leaks).
+func RunSeeds(cfg Config, first int64, n int) (Report, error) {
+	cfg = cfg.withDefaults()
+	ref, err := Reference(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	for i := 0; i < n; i++ {
+		sr := RunSeed(cfg, first+int64(i), ref)
+		rep.Add(sr)
+		if sr.Outcome == OutcomeHang {
+			break
+		}
+	}
+	return rep, nil
+}

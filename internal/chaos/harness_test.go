@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"bytes"
+	"flag"
+	"testing"
+	"time"
+
+	"pcxxstreams/internal/machine"
+)
+
+var (
+	chaosSeed = flag.Int64("chaos.seed", 1, "first seed of the chaos oracle campaign")
+	chaosN    = flag.Int("chaos.n", 200, "number of seeded schedules the chaos oracle runs")
+)
+
+// reportFailures logs every non-OK seed and fails the test on any forbidden
+// outcome (hang or corruption). Clean errors are permitted — retry budgets
+// are finite — but logged so a noisy schedule is visible.
+func reportFailures(t *testing.T, rep Report) {
+	t.Helper()
+	for _, sr := range rep.Results {
+		if sr.Outcome != OutcomeOK {
+			t.Logf("seed %d: %s: %v", sr.Seed, sr.Outcome, sr.Err)
+		}
+	}
+	t.Logf("campaign: %d ok, %d clean errors, %d corruptions, %d hangs over %d seeds",
+		rep.OK, rep.CleanErrors, rep.Corruptions, rep.Hangs, len(rep.Results))
+	if rep.Hangs != 0 {
+		t.Fatalf("%d seed(s) hung — the stack lost progress under transient faults", rep.Hangs)
+	}
+	if rep.Corruptions != 0 {
+		t.Fatalf("%d seed(s) silently corrupted data", rep.Corruptions)
+	}
+}
+
+// requireAllKinds asserts the campaign provably exercised every fault kind,
+// via the dsmon injection counters the chaos layers bump.
+func requireAllKinds(t *testing.T, rep Report) {
+	t.Helper()
+	for _, k := range commKinds {
+		if rep.Injects["comm:"+k] == 0 {
+			t.Errorf("no seed injected comm fault %q — campaign does not cover the fault space", k)
+		}
+	}
+	for _, k := range pfsKinds {
+		if rep.Injects["pfs:"+k] == 0 {
+			t.Errorf("no seed injected pfs fault %q — campaign does not cover the fault space", k)
+		}
+	}
+	t.Logf("injections: %v", rep.Injects)
+}
+
+// TestChaosOracle is the tentpole acceptance test: the full SCF write→read
+// pipeline across NProcs simulated ranks, run under -chaos.n seeded fault
+// schedules starting at -chaos.seed. Every run must finish with bytes
+// identical to the fault-free reference or a clean error on every rank;
+// hangs and silent corruption fail the suite, and the campaign as a whole
+// must have injected every fault kind at least once.
+func TestChaosOracle(t *testing.T) {
+	rep, err := RunSeeds(Config{}, *chaosSeed, *chaosN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+	requireAllKinds(t, rep)
+	if rep.OK == 0 {
+		t.Error("no seed completed successfully — default rates should mostly be survivable")
+	}
+}
+
+// TestChaosOracleTCP repeats a slice of the campaign over real loopback
+// sockets, so the framing, write-deadline, and broken-connection paths are
+// also exposed to the fault schedule. Smaller seed count: each run pays for
+// real dial/accept work.
+func TestChaosOracleTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP oracle skipped in -short mode")
+	}
+	n := *chaosN / 10
+	if n < 10 {
+		n = 10
+	}
+	rep, err := RunSeeds(Config{Transport: machine.TransportTCP}, *chaosSeed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+}
+
+// TestChaosBrutalRatesFailCleanly cranks the drop rate far past what the
+// retry budget absorbs: most seeds must now fail, but every failure must
+// still be clean — retry exhaustion may abort a run, never hang or corrupt
+// it.
+func TestChaosBrutalRatesFailCleanly(t *testing.T) {
+	rates := DefaultRates()
+	rates.Drop = 0.45
+	rep, err := RunSeeds(Config{Rates: rates, Watchdog: 2 * time.Minute}, *chaosSeed, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("brutal campaign: %d ok, %d clean errors, %d corruptions, %d hangs",
+		rep.OK, rep.CleanErrors, rep.Corruptions, rep.Hangs)
+	if rep.Hangs != 0 {
+		t.Fatalf("%d seed(s) hung under brutal rates", rep.Hangs)
+	}
+	if rep.Corruptions != 0 {
+		t.Fatalf("%d seed(s) corrupted data under brutal rates", rep.Corruptions)
+	}
+	if rep.CleanErrors == 0 {
+		t.Error("a 45% drop rate never exhausted a retry budget — exhaustion path untested")
+	}
+}
+
+// TestReferenceDeterministic: the fault-free pipeline is a fixed point — two
+// reference runs produce byte-identical images. Without this the oracle's
+// byte-comparison verdict would be meaningless.
+func TestReferenceDeterministic(t *testing.T) {
+	a, err := Reference(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reference(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two fault-free runs differ (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("reference image is empty")
+	}
+}

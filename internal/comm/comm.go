@@ -15,17 +15,26 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"time"
 
 	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
 
 // Message is one rank-to-rank datagram. Time is the sender's virtual clock
-// at the moment of sending.
+// at the moment of sending. Seq, when nonzero, is the message's 1-based
+// sequence number within its (from, to, tag) stream: sequenced messages are
+// deduplicated (a retried or duplicated copy of an already-delivered seq is
+// discarded) and reassembled in order (a receiver waiting on the stream is
+// not handed seq n+1 while seq n is still in flight). Seq 0 messages bypass
+// both mechanisms and behave exactly as before — raw Transport users that
+// never face duplication need no sequencing.
 type Message struct {
 	From, To int
 	Tag      uint64
+	Seq      uint64
 	Time     float64
 	Data     []byte
 }
@@ -43,22 +52,90 @@ type Transport interface {
 	Close() error
 }
 
+// DeadlineRecver is implemented by transports whose receives can be bounded
+// in real time. A receive that outlasts the deadline fails with
+// ErrRecvTimeout (a transient fault) instead of blocking forever — the
+// last-resort conversion of a hang into a clean error.
+type DeadlineRecver interface {
+	RecvWithin(to, from int, tag uint64, timeout time.Duration) (Message, error)
+}
+
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("comm: transport closed")
 
+// ErrTransient marks a fault the sender or receiver may retry: a dropped or
+// NACKed message, an injected chaos fault, a receive deadline. Fatal faults
+// (closed transports, invalid ranks, dead links) do not wrap it and
+// propagate immediately.
+var ErrTransient = errors.New("comm: transient fault")
+
+// ErrRecvTimeout reports a receive that outlasted its real-time deadline.
+// It wraps ErrTransient: the receiver may retry (the message may merely be
+// delayed), and gives up cleanly when its retry budget is spent.
+var ErrRecvTimeout = fmt.Errorf("%w: receive deadline exceeded", ErrTransient)
+
+// IsTransient reports whether err is worth retrying: anything wrapping
+// ErrTransient, plus net.Error timeouts from a real-socket transport.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// RetryPolicy bounds an endpoint's handling of transient faults: up to
+// MaxAttempts tries per operation, with Backoff virtual seconds charged
+// before the first retry and doubled for each further one. Retries are
+// idempotent — a resent message carries the same sequence number, so a
+// "failed" send whose copy actually arrived is deduplicated at the
+// receiver, not delivered twice.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     float64
+}
+
+// DefaultRetryPolicy allows six attempts starting at a microsecond of
+// virtual backoff — enough to ride out bursts of transient faults while
+// keeping a genuinely dead link's failure latency far below a human's.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 6, Backoff: 1e-6} }
+
+// streamID keys per-(peer, tag) sequencing state: the peer is the sender on
+// the receive side and the destination on the send side.
+type streamID struct {
+	peer int
+	tag  uint64
+}
+
 // mailbox is a matching queue shared by both transports: messages land in a
 // per-destination list; receivers scan for the first (from, tag) match.
+// For sequenced messages (Seq != 0) the mailbox is also the reassembly
+// point: next tracks the next sequence number to deliver per (from, tag)
+// stream, duplicates of already-delivered or already-queued sequence
+// numbers are discarded at put, and get refuses to hand out seq n+1 while
+// seq n is still in flight — so a transport wrapped in delay, duplication,
+// or retransmission still presents exactly-once, in-order streams.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Message
+	next   map[streamID]uint64 // next seq to deliver; absent means 1
 	closed bool
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
+	mb := &mailbox{next: make(map[streamID]uint64)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
+}
+
+// nextSeq returns the next deliverable sequence number for a stream (1 when
+// the stream has never delivered). Callers hold mb.mu.
+func (mb *mailbox) nextSeq(k streamID) uint64 {
+	if n := mb.next[k]; n != 0 {
+		return n
+	}
+	return 1
 }
 
 func (mb *mailbox) put(m Message) error {
@@ -67,23 +144,63 @@ func (mb *mailbox) put(m Message) error {
 	if mb.closed {
 		return ErrClosed
 	}
+	if m.Seq != 0 {
+		k := streamID{m.From, m.Tag}
+		if m.Seq < mb.nextSeq(k) {
+			return nil // duplicate of an already-delivered message
+		}
+		for _, q := range mb.queue {
+			if q.From == m.From && q.Tag == m.Tag && q.Seq == m.Seq {
+				return nil // duplicate of an already-queued message
+			}
+		}
+	}
 	mb.queue = append(mb.queue, m)
 	mb.cond.Broadcast()
 	return nil
 }
 
 func (mb *mailbox) get(from int, tag uint64) (Message, error) {
+	return mb.getWithin(from, tag, 0)
+}
+
+// getWithin is get with an optional real-time deadline (0 = wait forever).
+// The deadline is implemented with a timer that broadcasts on the condition
+// variable, so an expired waiter wakes promptly even with nothing arriving.
+func (mb *mailbox) getWithin(from int, tag uint64, timeout time.Duration) (Message, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	expired := false
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() {
+			mb.mu.Lock()
+			expired = true
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for {
 		for i, m := range mb.queue {
-			if m.From == from && m.Tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m, nil
+			if m.From != from || m.Tag != tag {
+				continue
 			}
+			if m.Seq != 0 {
+				k := streamID{from, tag}
+				if m.Seq != mb.nextSeq(k) {
+					continue // a gap precedes this one; wait for the in-flight message
+				}
+				mb.next[k] = m.Seq + 1
+			}
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, nil
 		}
 		if mb.closed {
 			return Message{}, ErrClosed
+		}
+		if expired {
+			return Message{}, fmt.Errorf("%w: no message from %d tag %#x within %v",
+				ErrRecvTimeout, from, tag, timeout)
 		}
 		mb.cond.Wait()
 	}
@@ -133,6 +250,14 @@ func (t *ChanTransport) Recv(to, from int, tag uint64) (Message, error) {
 	return t.boxes[to].get(from, tag)
 }
 
+// RecvWithin implements DeadlineRecver.
+func (t *ChanTransport) RecvWithin(to, from int, tag uint64, timeout time.Duration) (Message, error) {
+	if to < 0 || to >= len(t.boxes) {
+		return Message{}, fmt.Errorf("comm: recv on invalid rank %d (size %d)", to, len(t.boxes))
+	}
+	return t.boxes[to].getWithin(from, tag, timeout)
+}
+
 // Close implements Transport.
 func (t *ChanTransport) Close() error {
 	for _, b := range t.boxes {
@@ -150,27 +275,59 @@ type Endpoint struct {
 	clock      *vtime.Clock
 	prof       vtime.Profile
 
+	// Resilience: per-stream send sequence numbers (for receiver-side dedup
+	// and reassembly), the transient-fault retry policy, and the optional
+	// real-time receive deadline. All owned by the node's goroutine.
+	seqs         map[streamID]uint64
+	retry        RetryPolicy
+	recvDeadline time.Duration
+
 	// Statistics, local to the owning goroutine.
 	sent, received           int
 	bytesSent, bytesReceived int64
 	sentByPeer, recvByPeer   []int
 
 	// Observability (nil handles are no-ops).
-	mon       *dsmon.Monitor
-	mSent     *dsmon.Counter
-	mRecv     *dsmon.Counter
-	mBytesOut *dsmon.Counter
-	mBytesIn  *dsmon.Counter
-	hMsgSize  *dsmon.Histogram
-	hRecvWait *dsmon.Histogram
+	mon         *dsmon.Monitor
+	mSent       *dsmon.Counter
+	mRecv       *dsmon.Counter
+	mBytesOut   *dsmon.Counter
+	mBytesIn    *dsmon.Counter
+	mTransient  *dsmon.Counter
+	mSendRetry  *dsmon.Counter
+	mRecvRetry  *dsmon.Counter
+	mExhausted  *dsmon.Counter
+	hMsgSize    *dsmon.Histogram
+	hRecvWait   *dsmon.Histogram
 }
 
 // NewEndpoint binds rank's endpoint onto tr.
 func NewEndpoint(rank, size int, tr Transport, clock *vtime.Clock, prof vtime.Profile) *Endpoint {
 	return &Endpoint{
 		rank: rank, size: size, tr: tr, clock: clock, prof: prof,
+		seqs:       make(map[streamID]uint64),
+		retry:      DefaultRetryPolicy(),
 		sentByPeer: make([]int, size), recvByPeer: make([]int, size),
 	}
+}
+
+// SetRetryPolicy replaces the endpoint's transient-fault retry policy
+// (MaxAttempts is clamped to at least one attempt).
+func (e *Endpoint) SetRetryPolicy(p RetryPolicy) *Endpoint {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	e.retry = p
+	return e
+}
+
+// SetRecvDeadline bounds every blocking receive in real time (0 disables,
+// the default). Each attempt waits up to d; a timeout counts as a transient
+// fault, so the worst-case wall-clock wait before a clean error is
+// d × MaxAttempts.
+func (e *Endpoint) SetRecvDeadline(d time.Duration) *Endpoint {
+	e.recvDeadline = d
+	return e
 }
 
 // SetMonitor attaches the observability layer: per-message counters, the
@@ -184,6 +341,10 @@ func (e *Endpoint) SetMonitor(m *dsmon.Monitor) *Endpoint {
 	e.mRecv = reg.Counter("comm_messages_received_total", "point-to-point messages received")
 	e.mBytesOut = reg.Counter("comm_bytes_sent_total", "payload bytes sent")
 	e.mBytesIn = reg.Counter("comm_bytes_received_total", "payload bytes received")
+	e.mTransient = reg.Counter("comm_transient_errors_total", "transient transport faults observed (send and recv)")
+	e.mSendRetry = reg.Counter("comm_send_retries_total", "point-to-point sends retried after a transient fault")
+	e.mRecvRetry = reg.Counter("comm_recv_retries_total", "point-to-point receives retried after a transient fault")
+	e.mExhausted = reg.Counter("comm_retries_exhausted_total", "operations that failed after spending the whole retry budget")
 	e.hMsgSize = reg.Histogram("comm_message_size_bytes",
 		"payload size of sent messages", dsmon.SizeBuckets)
 	e.hRecvWait = reg.Histogram("comm_recv_wait_seconds",
@@ -208,10 +369,39 @@ func (e *Endpoint) Clock() *vtime.Clock { return e.clock }
 func (e *Endpoint) Profile() vtime.Profile { return e.prof }
 
 // Send transmits data to rank `to` under `tag`, charging the sender its
-// per-message CPU overhead.
+// per-message CPU overhead. Transient transport faults are retried with
+// exponential virtual-time backoff; the resent message reuses its sequence
+// number, so a retry whose earlier copy actually arrived is deduplicated at
+// the receiver. Fatal errors, and transient ones that outlast the retry
+// budget, are returned to the caller.
 func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
 	start := e.clock.Now()
 	e.clock.Advance(e.prof.SendOverhead)
+	k := streamID{to, tag}
+	e.seqs[k]++
+	m := Message{From: e.rank, To: to, Tag: tag, Seq: e.seqs[k], Data: data}
+	backoff := e.retry.Backoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		m.Time = e.clock.Now()
+		err = e.tr.Send(m)
+		if err == nil || !IsTransient(err) {
+			break
+		}
+		e.mTransient.Inc()
+		if attempt >= e.retry.MaxAttempts {
+			e.mExhausted.Inc()
+			err = fmt.Errorf("comm: send to %d tag %#x: retries exhausted after %d attempts: %w",
+				to, tag, attempt, err)
+			break
+		}
+		e.mSendRetry.Inc()
+		e.clock.Advance(backoff)
+		backoff *= 2
+	}
+	if err != nil {
+		return err
+	}
 	e.sent++
 	e.bytesSent += int64(len(data))
 	if to >= 0 && to < len(e.sentByPeer) {
@@ -221,17 +411,44 @@ func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
 	e.mBytesOut.Add(int64(len(data)))
 	e.hMsgSize.Observe(float64(len(data)))
 	e.mon.Span(e.rank, "comm", "Send", start, e.clock.Now())
-	return e.tr.Send(Message{
-		From: e.rank, To: to, Tag: tag,
-		Time: e.clock.Now(), Data: data,
-	})
+	return nil
+}
+
+// recvOnce performs a single receive attempt, bounded by the configured
+// real-time deadline when the transport supports one.
+func (e *Endpoint) recvOnce(from int, tag uint64) (Message, error) {
+	if e.recvDeadline > 0 {
+		if dr, ok := e.tr.(DeadlineRecver); ok {
+			return dr.RecvWithin(e.rank, from, tag, e.recvDeadline)
+		}
+	}
+	return e.tr.Recv(e.rank, from, tag)
 }
 
 // Recv blocks for the matching message and advances the local clock to the
-// message's arrival time: send time + latency + transfer time.
+// message's arrival time: send time + latency + transfer time. Transient
+// faults (injected receive errors, deadline expiries) are retried with
+// exponential virtual-time backoff before a clean error is surfaced.
 func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
 	start := e.clock.Now()
-	m, err := e.tr.Recv(e.rank, from, tag)
+	var m Message
+	var err error
+	backoff := e.retry.Backoff
+	for attempt := 1; ; attempt++ {
+		m, err = e.recvOnce(from, tag)
+		if err == nil || !IsTransient(err) {
+			break
+		}
+		e.mTransient.Inc()
+		if attempt >= e.retry.MaxAttempts {
+			e.mExhausted.Inc()
+			return nil, fmt.Errorf("comm: recv from %d tag %#x: retries exhausted after %d attempts: %w",
+				from, tag, attempt, err)
+		}
+		e.mRecvRetry.Inc()
+		e.clock.Advance(backoff)
+		backoff *= 2
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -449,40 +449,4 @@ func benchTransport(b *testing.B, tr Transport) {
 	<-done
 }
 
-func TestFaultyTransportBudget(t *testing.T) {
-	tr := NewFaultyTransport(NewChanTransport(2), 2)
-	if err := tr.Send(Message{From: 0, To: 1, Tag: 1, Data: []byte("a")}); err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Send(Message{From: 0, To: 1, Tag: 2, Data: []byte("b")}); err != nil {
-		t.Fatal(err)
-	}
-	if err := tr.Send(Message{From: 0, To: 1, Tag: 3, Data: []byte("c")}); err == nil {
-		t.Fatal("third send succeeded past budget")
-	}
-	// Transport is dead: receivers get errors, further sends fail fast.
-	if err := tr.Send(Message{From: 0, To: 1, Tag: 4}); err == nil {
-		t.Fatal("send on dead transport succeeded")
-	}
-	if _, err := tr.Recv(1, 0, 99); err == nil {
-		t.Fatal("recv on dead transport succeeded")
-	}
-}
-
-// TestFaultyTransportReleasesBlockedReceivers: a receiver already parked in
-// Recv is woken with an error when the link dies.
-func TestFaultyTransportReleasesBlockedReceivers(t *testing.T) {
-	tr := NewFaultyTransport(NewChanTransport(2), 0)
-	errc := make(chan error, 1)
-	go func() {
-		_, err := tr.Recv(1, 0, 7)
-		errc <- err
-	}()
-	// The first send exhausts the (zero) budget and kills the transport.
-	if err := tr.Send(Message{From: 0, To: 1, Tag: 7}); err == nil {
-		t.Fatal("send with zero budget succeeded")
-	}
-	if err := <-errc; err == nil {
-		t.Fatal("blocked receiver not released with error")
-	}
-}
+// The FaultyTransport tests live in faulty_test.go.

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // FaultyTransport wraps a transport and fails operations after a budget is
@@ -17,7 +18,13 @@ type FaultyTransport struct {
 }
 
 // NewFaultyTransport wraps tr, allowing sendsLeft successful sends before
-// every further operation fails (and pending receivers are released).
+// every further operation fails. When the budget trips, the underlying
+// transport is closed, so receivers already blocked in Recv wake with an
+// error rather than hanging (the regression test for this lives in
+// faulty_test.go); receives issued after death fail fast with an injected
+// failure. The failure is permanent and fatal — it deliberately does not
+// wrap ErrTransient, so resilient endpoints do not retry it. For
+// retryable, probabilistic faults use chaos.Transport instead.
 func NewFaultyTransport(tr Transport, sendsLeft int) *FaultyTransport {
 	return &FaultyTransport{Transport: tr, sendsLeft: sendsLeft}
 }
@@ -39,4 +46,33 @@ func (f *FaultyTransport) Send(m Message) error {
 	f.sendsLeft--
 	f.mu.Unlock()
 	return f.Transport.Send(m)
+}
+
+// Recv fails fast once the transport is dead; otherwise it defers to the
+// underlying transport (whose closure, after a budget trip, also wakes any
+// receiver that was already blocked).
+func (f *FaultyTransport) Recv(to, from int, tag uint64) (Message, error) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return Message{}, fmt.Errorf("comm: injected link failure (transport dead)")
+	}
+	return f.Transport.Recv(to, from, tag)
+}
+
+// RecvWithin forwards the deadline-bounded receive when the wrapped
+// transport supports one, preserving the same fail-fast behavior after
+// death. It falls back to a plain Recv otherwise.
+func (f *FaultyTransport) RecvWithin(to, from int, tag uint64, timeout time.Duration) (Message, error) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return Message{}, fmt.Errorf("comm: injected link failure (transport dead)")
+	}
+	if dr, ok := f.Transport.(DeadlineRecver); ok {
+		return dr.RecvWithin(to, from, tag, timeout)
+	}
+	return f.Transport.Recv(to, from, tag)
 }

@@ -1,0 +1,97 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultyTransportBudget(t *testing.T) {
+	tr := NewFaultyTransport(NewChanTransport(2), 2)
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 1, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 2, Data: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 3, Data: []byte("c")}); err == nil {
+		t.Fatal("third send succeeded past budget")
+	}
+	// Transport is dead: receivers get errors, further sends fail fast.
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 4}); err == nil {
+		t.Fatal("send on dead transport succeeded")
+	}
+	if _, err := tr.Recv(1, 0, 99); err == nil {
+		t.Fatal("recv on dead transport succeeded")
+	}
+}
+
+// TestFaultyTransportReleasesBlockedReceivers: a receiver already parked in
+// Recv is woken with an error when the link dies — the documented guarantee
+// that a crashed interconnect surfaces as errors, never a hang.
+func TestFaultyTransportReleasesBlockedReceivers(t *testing.T) {
+	tr := NewFaultyTransport(NewChanTransport(2), 0)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := tr.Recv(1, 0, 7)
+		errc <- err
+	}()
+	// The first send exhausts the (zero) budget and kills the transport.
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 7}); err == nil {
+		t.Fatal("send with zero budget succeeded")
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blocked receiver not released with error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked receiver still parked after budget trip")
+	}
+}
+
+// TestFaultyTransportPostDeathRecvFailsFast: a receive issued after the
+// budget trips must not park at all — there is no message coming, and the
+// death is permanent.
+func TestFaultyTransportPostDeathRecvFailsFast(t *testing.T) {
+	tr := NewFaultyTransport(NewChanTransport(2), 0)
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 1}); err == nil {
+		t.Fatal("send with zero budget succeeded")
+	}
+	done := make(chan error, 2)
+	go func() {
+		_, err := tr.Recv(1, 0, 1)
+		done <- err
+	}()
+	go func() {
+		_, err := tr.RecvWithin(1, 0, 1, time.Hour) // deadline must be irrelevant
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("post-death receive returned a message")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("post-death receive blocked instead of failing fast")
+		}
+	}
+}
+
+// TestFaultyTransportErrorsAreFatal: the injected failure models a crashed
+// node — endpoints must not retry it, so it must not read as transient.
+func TestFaultyTransportErrorsAreFatal(t *testing.T) {
+	tr := NewFaultyTransport(NewChanTransport(2), 0)
+	err := tr.Send(Message{From: 0, To: 1, Tag: 1})
+	if err == nil {
+		t.Fatal("send with zero budget succeeded")
+	}
+	if IsTransient(err) {
+		t.Fatalf("budget-trip error is transient (%v); endpoints would retry a dead link", err)
+	}
+	if _, rerr := tr.Recv(1, 0, 1); rerr == nil {
+		t.Fatal("post-death recv succeeded")
+	} else if IsTransient(rerr) {
+		t.Fatalf("post-death recv error is transient: %v", rerr)
+	}
+}

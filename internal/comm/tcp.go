@@ -8,6 +8,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"pcxxstreams/internal/dsmon"
 )
@@ -27,6 +28,10 @@ type TCPTransport struct {
 	wg    sync.WaitGroup
 	done  chan struct{}
 
+	// ioTimeout, when positive, bounds each socket write in real time.
+	// Set before the machine run starts; read by sender goroutines.
+	ioTimeout time.Duration
+
 	// Wire-level counters (nil handles are no-ops). Unlike the Endpoint's
 	// payload accounting these measure the real socket traffic: frame
 	// headers included.
@@ -45,13 +50,14 @@ func (t *TCPTransport) SetMonitor(m *dsmon.Monitor) {
 }
 
 type tcpConn struct {
-	mu sync.Mutex // serializes frame writes
-	c  net.Conn
-	w  *bufio.Writer
+	mu     sync.Mutex // serializes frame writes
+	c      net.Conn
+	w      *bufio.Writer
+	broken bool // a mid-frame write failed; the byte stream is torn
 }
 
-// frame layout: u32 payloadLen | u32 from | u32 to | u64 tag | u64 timeBits | payload
-const frameHeaderLen = 4 + 4 + 4 + 8 + 8
+// frame layout: u32 payloadLen | u32 from | u32 to | u64 tag | u64 seq | u64 timeBits | payload
+const frameHeaderLen = 4 + 4 + 4 + 8 + 8 + 8
 
 // NewTCPTransport creates a transport for n ranks over loopback TCP. It
 // starts a listener, dials one connection per rank, and spawns reader
@@ -120,7 +126,8 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			From: int(int32(binary.LittleEndian.Uint32(hdr[4:8]))),
 			To:   int(int32(binary.LittleEndian.Uint32(hdr[8:12]))),
 			Tag:  binary.LittleEndian.Uint64(hdr[12:20]),
-			Time: math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:28])),
+			Seq:  binary.LittleEndian.Uint64(hdr[20:28]),
+			Time: math.Float64frombits(binary.LittleEndian.Uint64(hdr[28:36])),
 		}
 		if plen > 0 {
 			m.Data = make([]byte, plen)
@@ -151,19 +158,34 @@ func (t *TCPTransport) Send(m Message) error {
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(m.From)))
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(m.To)))
 	binary.LittleEndian.PutUint64(hdr[12:20], m.Tag)
-	binary.LittleEndian.PutUint64(hdr[20:28], math.Float64bits(m.Time))
+	binary.LittleEndian.PutUint64(hdr[20:28], m.Seq)
+	binary.LittleEndian.PutUint64(hdr[28:36], math.Float64bits(m.Time))
 
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if tc.broken {
+		return fmt.Errorf("comm: tcp send from %d: connection broken by earlier mid-frame failure", m.From)
+	}
+	if t.ioTimeout > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(t.ioTimeout))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
 	if _, err := tc.w.Write(hdr); err != nil {
+		tc.broken = true
 		return fmt.Errorf("comm: tcp send: %w", err)
 	}
 	if len(m.Data) > 0 {
 		if _, err := tc.w.Write(m.Data); err != nil {
+			tc.broken = true
 			return fmt.Errorf("comm: tcp send: %w", err)
 		}
 	}
 	if err := tc.w.Flush(); err != nil {
+		// A timed-out or failed flush may have left a partial frame on the
+		// wire; the byte stream can no longer be trusted, so the connection
+		// is marked broken and every later send fails fast and fatally
+		// (retrying could interleave into the torn frame).
+		tc.broken = true
 		return fmt.Errorf("comm: tcp send: %w", err)
 	}
 	t.mFrames.Inc()
@@ -171,12 +193,26 @@ func (t *TCPTransport) Send(m Message) error {
 	return nil
 }
 
+// SetIOTimeout bounds each socket write in real time (0, the default,
+// disables deadlines). A write that times out marks its connection broken —
+// the failure is fatal, not transient, because a partial frame may already
+// be on the wire.
+func (t *TCPTransport) SetIOTimeout(d time.Duration) { t.ioTimeout = d }
+
 // Recv implements Transport.
 func (t *TCPTransport) Recv(to, from int, tag uint64) (Message, error) {
 	if to < 0 || to >= len(t.boxes) {
 		return Message{}, fmt.Errorf("comm: tcp recv on invalid rank %d", to)
 	}
 	return t.boxes[to].get(from, tag)
+}
+
+// RecvWithin implements DeadlineRecver.
+func (t *TCPTransport) RecvWithin(to, from int, tag uint64, timeout time.Duration) (Message, error) {
+	if to < 0 || to >= len(t.boxes) {
+		return Message{}, fmt.Errorf("comm: tcp recv on invalid rank %d", to)
+	}
+	return t.boxes[to].getWithin(from, tag, timeout)
 }
 
 // Close shuts down the listener, all connections, and all mailboxes.

@@ -1,0 +1,202 @@
+package dschema
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pcxxstreams/internal/enc"
+)
+
+// FuzzParse: no schema string may panic the parser, and anything it accepts
+// must describe at least one non-empty array with named fields.
+func FuzzParse(f *testing.F) {
+	f.Add("id:i64,mass:f64[],label:str ; density:f64")
+	f.Add("a:bool")
+	f.Add("")
+	f.Add(";;")
+	f.Add("x:i32,x:i64")
+	f.Add("p:f64[] ; q:i64[] ; r:bytes,s:u32,t:u64,u:f32")
+	f.Fuzz(func(t *testing.T, s string) {
+		sch, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if sch.NArrays() == 0 {
+			t.Fatalf("accepted schema %q has no arrays", s)
+		}
+		for ai, fields := range sch.Arrays {
+			if len(fields) == 0 {
+				t.Fatalf("accepted schema %q: array %d has no fields", s, ai)
+			}
+			for _, fd := range fields {
+				if fd.Name == "" {
+					t.Fatalf("accepted schema %q: empty field name in array %d", s, ai)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeElement: arbitrary payload bytes against an arbitrary (valid)
+// schema must decode cleanly or error — never panic, never read out of
+// bounds.
+func FuzzDecodeElement(f *testing.F) {
+	f.Add("id:i64,mass:f64", []byte(nil))
+	f.Add("s:str", []byte{4, 0, 0, 0, 'a', 'b', 'c', 'd'})
+	f.Add("v:f64[]", []byte{0xff, 0xff, 0xff, 0xff})
+	f.Add("b:bool ; w:u32", []byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, schema string, payload []byte) {
+		sch, err := Parse(schema)
+		if err != nil {
+			return
+		}
+		m, err := sch.DecodeElement(payload)
+		if err == nil && m == nil {
+			t.Fatal("successful decode returned nil map")
+		}
+	})
+}
+
+// FuzzSchemaRoundTrip is the generative property: derive a payload from the
+// schema itself (encoding one value per field with the dstream encoder the
+// schema language mirrors), then decode it; every field must come back with
+// its value, and no bytes may be left over.
+func FuzzSchemaRoundTrip(f *testing.F) {
+	f.Add("id:i64,mass:f64[],label:str ; density:f64", uint64(1))
+	f.Add("a:bool,b:i32,c:i64,d:u32,e:u64,g:f32,h:f64,i:str,j:bytes,k:f64[],l:i64[]", uint64(42))
+	f.Fuzz(func(t *testing.T, schema string, seed uint64) {
+		sch, err := Parse(schema)
+		if err != nil {
+			return
+		}
+		next := func() uint64 { // splitmix64: deterministic per-field values
+			seed += 0x9E3779B97F4A7C15
+			z := seed
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return z ^ (z >> 31)
+		}
+
+		var e enc.Buffer
+		want := map[string]any{}
+		for _, fields := range sch.Arrays {
+			for _, fd := range fields {
+				v := next()
+				switch fd.Type {
+				case Bool:
+					b := v&1 == 1
+					e.Bool(b)
+					want[fd.Name] = b
+				case I32:
+					e.Int32(int32(v))
+					want[fd.Name] = int64(int32(v))
+				case I64:
+					e.Int64(int64(v))
+					want[fd.Name] = int64(v)
+				case U32:
+					e.Uint32(uint32(v))
+					want[fd.Name] = uint64(uint32(v))
+				case U64:
+					e.Uint64(v)
+					want[fd.Name] = v
+				case F32:
+					fv := float32(v%1000) / 7
+					e.Float32(fv)
+					want[fd.Name] = float64(fv)
+				case F64:
+					fv := float64(v%100000) / 13
+					e.Float64(fv)
+					want[fd.Name] = fv
+				case Str:
+					s := strings.Repeat("s", int(v%9))
+					e.String(s)
+					want[fd.Name] = s
+				case Bytes:
+					p := make([]byte, v%9)
+					for i := range p {
+						p[i] = byte(v >> (i % 8))
+					}
+					e.Bytes32(p)
+					want[fd.Name] = p
+				case F64Slice:
+					fs := make([]float64, v%7)
+					for i := range fs {
+						fs[i] = float64(i) * 1.5
+					}
+					e.Float64Slice(fs)
+					want[fd.Name] = fs
+				case I64Slice:
+					is := make([]int64, v%7)
+					for i := range is {
+						is[i] = int64(v) - int64(i)
+					}
+					e.Int64Slice(is)
+					want[fd.Name] = is
+				}
+			}
+		}
+
+		got, err := sch.DecodeElement(e.Bytes())
+		if err != nil {
+			t.Fatalf("decoding a schema-derived payload failed: %v", err)
+		}
+		// Later duplicate names across arrays overwrite earlier ones in the
+		// decoded map; want was built the same way, so compare directly.
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d fields, want %d", len(got), len(want))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("field %q missing from decode", k)
+			}
+			if !valuesEqual(g, w) {
+				t.Fatalf("field %q = %#v, want %#v", k, g, w)
+			}
+		}
+	})
+}
+
+func valuesEqual(a, b any) bool {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && math.Float64bits(x) == math.Float64bits(y)
+	case []float64:
+		y, ok := b.([]float64)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	case []int64:
+		y, ok := b.([]int64)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

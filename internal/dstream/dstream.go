@@ -129,6 +129,11 @@ var (
 	ErrNotAligned = errors.New("dstream: collection not aligned with stream distribution")
 	// ErrOrder reports a primitive called out of the legal order.
 	ErrOrder = errors.New("dstream: primitive out of order")
+	// ErrIO wraps a flush or refill that failed in the layers below —
+	// communication retries exhausted, storage faults, aborted collectives.
+	// The stream is left in its sticky-error state: later primitives return
+	// the same error instead of hanging or silently corrupting the file.
+	ErrIO = errors.New("dstream: I/O failed")
 )
 
 // stream holds the state shared by both directions.
@@ -156,6 +161,7 @@ type streamMetrics struct {
 	reads    *dsmon.Counter
 	extracts *dsmon.Counter
 	skips    *dsmon.Counter
+	errs     *dsmon.Counter
 	fill     *dsmon.Gauge
 	// flushBytes / refillBytes observe the per-node payload of each
 	// flush / refill; flushStall / refillStall observe the virtual
@@ -181,6 +187,7 @@ func newStreamMetrics(m *dsmon.Monitor) *streamMetrics {
 		reads:    reg.Counter("dstream_reads_total", "records loaded by input streams"),
 		extracts: reg.Counter("dstream_extracts_total", "extract operations drained from records"),
 		skips:    reg.Counter("dstream_skips_total", "records skipped by input streams"),
+		errs:     reg.Counter("dstream_errors_total", "stream primitives that failed and stuck the stream in its error state"),
 		fill: reg.Gauge("dstream_buffer_fill_bytes",
 			"bytes currently buffered in unwritten interleave groups, all streams of this node's run"),
 		flushBytes: reg.Histogram("dstream_flush_bytes",
@@ -201,6 +208,7 @@ func newStreamMetrics(m *dsmon.Monitor) *streamMetrics {
 func (s *stream) fail(err error) error {
 	if err != nil && s.err == nil {
 		s.err = err
+		s.met.errs.Inc()
 	}
 	return err
 }

@@ -114,7 +114,7 @@ func (s *IStream) read(sorted bool) error {
 	// Step 1: record header — node 0 reads, broadcasts.
 	hdr, err := s.bcastBytes(s.cursor, enc.RecordHeaderLen)
 	if err != nil {
-		return s.fail(fmt.Errorf("dstream: read record header: %w", err))
+		return s.fail(fmt.Errorf("%w: read record header: %w", ErrIO, err))
 	}
 	h, err := enc.DecodeRecordHeader(hdr)
 	if err != nil {
@@ -131,12 +131,12 @@ func (s *IStream) read(sorted bool) error {
 	if h.DescBytes > 0 {
 		desc, err = s.bcastBytes(s.cursor+enc.RecordHeaderLen, int(h.DescBytes))
 		if err != nil {
-			return s.fail(fmt.Errorf("dstream: read distribution descriptor: %w", err))
+			return s.fail(fmt.Errorf("%w: read distribution descriptor: %w", ErrIO, err))
 		}
 	}
 	tableRaw, err := s.bcastBytes(s.cursor+enc.RecordHeaderLen+int64(h.DescBytes), int(h.SizeTableBytes()))
 	if err != nil {
-		return s.fail(fmt.Errorf("dstream: read size table: %w", err))
+		return s.fail(fmt.Errorf("%w: read size table: %w", ErrIO, err))
 	}
 	sizes, err := enc.DecodeSizeTable(tableRaw, int(h.NElems))
 	if err != nil {
@@ -172,7 +172,7 @@ func (s *IStream) read(sorted bool) error {
 	rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
 	chunk, err := s.f.ParallelRead(rg)
 	if err != nil {
-		return s.fail(fmt.Errorf("dstream: parallel read: %w", err))
+		return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
 	}
 	s.node.CopyCost(int64(len(chunk)))
 
@@ -192,7 +192,7 @@ func (s *IStream) read(sorted bool) error {
 		order := fileOrder(wdist)
 		bufs, err = s.redistribute(order[lo:hi], payloads)
 		if err != nil {
-			return s.fail(err)
+			return s.fail(fmt.Errorf("%w: redistribute: %w", ErrIO, err))
 		}
 	}
 

@@ -179,11 +179,11 @@ func (s *OStream) Write() error {
 
 	if funnel {
 		if err := s.writeFunnel(nArrays, localSizes, data); err != nil {
-			return s.fail(err)
+			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
 		}
 	} else {
 		if err := s.writeParallel(nArrays, localSizes, data); err != nil {
-			return s.fail(err)
+			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
 		}
 	}
 	s.wrote++

@@ -1,0 +1,166 @@
+package enc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip: whatever a Buffer encodes, a Reader decodes back exactly —
+// the wire-format property the whole d/stream file format leans on.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(true, uint32(0), uint64(0), 0.0, "", []byte(nil), uint8(0))
+	f.Add(false, uint32(1), uint64(1<<63), -1.5, "hello", []byte{1, 2, 3}, uint8(3))
+	f.Add(true, uint32(0xffffffff), uint64(0xffffffffffffffff), math.Inf(1), "κ…\x00", []byte{0}, uint8(17))
+	f.Add(false, uint32(42), uint64(7), math.NaN(), "nan payload", []byte("bytes"), uint8(255))
+	f.Fuzz(func(t *testing.T, b bool, u32 uint32, u64 uint64, f64 float64, s string, raw []byte, n uint8) {
+		fslice := make([]float64, int(n)%9)
+		islice := make([]int64, int(n)%5)
+		for i := range fslice {
+			fslice[i] = f64 * float64(i+1)
+		}
+		for i := range islice {
+			islice[i] = int64(u64) - int64(i)
+		}
+
+		var e Buffer
+		e.Bool(b)
+		e.Uint32(u32)
+		e.Uint64(u64)
+		e.Int32(int32(u32))
+		e.Int64(int64(u64))
+		e.Float64(f64)
+		e.Float32(float32(f64))
+		e.String(s)
+		e.Bytes32(raw)
+		e.Float64Slice(fslice)
+		e.Int64Slice(islice)
+
+		d := NewReader(e.Bytes())
+		if got := d.Bool(); got != b {
+			t.Fatalf("Bool = %v, want %v", got, b)
+		}
+		if got := d.Uint32(); got != u32 {
+			t.Fatalf("Uint32 = %d, want %d", got, u32)
+		}
+		if got := d.Uint64(); got != u64 {
+			t.Fatalf("Uint64 = %d, want %d", got, u64)
+		}
+		if got := d.Int32(); got != int32(u32) {
+			t.Fatalf("Int32 = %d, want %d", got, int32(u32))
+		}
+		if got := d.Int64(); got != int64(u64) {
+			t.Fatalf("Int64 = %d, want %d", got, int64(u64))
+		}
+		if got := d.Float64(); math.Float64bits(got) != math.Float64bits(f64) {
+			t.Fatalf("Float64 = %v, want %v", got, f64)
+		}
+		if got := d.Float32(); math.Float32bits(got) != math.Float32bits(float32(f64)) {
+			t.Fatalf("Float32 = %v, want %v", got, float32(f64))
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("String = %q, want %q", got, s)
+		}
+		if got := d.Bytes32(); !bytes.Equal(got, raw) {
+			t.Fatalf("Bytes32 = %q, want %q", got, raw)
+		}
+		gf := d.Float64Slice()
+		if len(gf) != len(fslice) {
+			t.Fatalf("Float64Slice len = %d, want %d", len(gf), len(fslice))
+		}
+		for i := range gf {
+			if math.Float64bits(gf[i]) != math.Float64bits(fslice[i]) {
+				t.Fatalf("Float64Slice[%d] = %v, want %v", i, gf[i], fslice[i])
+			}
+		}
+		gi := d.Int64Slice()
+		if len(gi) != len(islice) {
+			t.Fatalf("Int64Slice len = %d, want %d", len(gi), len(islice))
+		}
+		for i := range gi {
+			if gi[i] != islice[i] {
+				t.Fatalf("Int64Slice[%d] = %d, want %d", i, gi[i], islice[i])
+			}
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("reader error after clean round trip: %v", err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("%d bytes left over after round trip", d.Remaining())
+		}
+	})
+}
+
+// FuzzReaderNeverPanics drives a Reader over arbitrary bytes with an
+// arbitrary script of decode calls: no input may panic it, offsets must stay
+// in bounds, and once it errors the error must stick.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte(nil), []byte(nil))
+	f.Add([]byte{1, 2, 3}, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{9, 9, 10, 10})
+	f.Fuzz(func(t *testing.T, data, script []byte) {
+		d := NewReader(data)
+		for _, op := range script {
+			hadErr := d.Err() != nil
+			switch op % 11 {
+			case 0:
+				d.Bool()
+			case 1:
+				d.Uint32()
+			case 2:
+				d.Uint64()
+			case 3:
+				d.Int32()
+			case 4:
+				d.Int64()
+			case 5:
+				d.Float32()
+			case 6:
+				d.Float64()
+			case 7:
+				_ = d.String()
+			case 8:
+				d.Bytes32()
+			case 9:
+				d.Float64Slice()
+			case 10:
+				d.Int64Slice()
+			}
+			if hadErr && d.Err() == nil {
+				t.Fatal("reader error un-stuck itself")
+			}
+			if d.Offset() < 0 || d.Offset() > len(data) {
+				t.Fatalf("offset %d out of bounds [0,%d]", d.Offset(), len(data))
+			}
+			if d.Remaining() < 0 {
+				t.Fatalf("negative remaining %d", d.Remaining())
+			}
+		}
+	})
+}
+
+// FuzzRecordHeader: arbitrary bytes never panic the record-header decoder,
+// and any header it accepts is a fixed point of encode∘decode.
+func FuzzRecordHeader(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeFileHeader())
+	h := RecordHeader{NArrays: 2, NElems: 9, NProcs: 4, Mode: 1, DataBytes: 1 << 20}
+	f.Add(h.Encode())
+	f.Add(h.Encode()[:RecordHeaderLen-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeRecordHeader(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeRecordHeader(h.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding an accepted header failed: %v", err)
+		}
+		if again != h {
+			t.Fatalf("decode∘encode not idempotent: %+v vs %+v", again, h)
+		}
+		if h.TotalBytes() < RecordHeaderLen {
+			t.Fatalf("TotalBytes %d below header length", h.TotalBytes())
+		}
+	})
+}

@@ -148,6 +148,12 @@ func DecodeRecordHeader(b []byte) (RecordHeader, error) {
 	if h.NProcs == 0 {
 		return h, fmt.Errorf("enc: record header has zero writer procs")
 	}
+	// Bound the declared data section: readers size buffers and skip records
+	// with TotalBytes, so a corrupt header claiming ~2^64 payload bytes must
+	// be rejected here rather than overflow the int64 offset arithmetic.
+	if h.DataBytes > 1<<56 {
+		return h, fmt.Errorf("enc: record header declares unreasonable data section (%d bytes)", h.DataBytes)
+	}
 	return h, nil
 }
 

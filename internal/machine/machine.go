@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/comm"
@@ -49,6 +50,19 @@ type Config struct {
 	// Collectives selects the collective algorithm (Linear by default;
 	// Tree scales to large node counts).
 	Collectives collective.Algorithm
+	// WrapTransport, when non-nil, wraps the run's transport before any
+	// endpoint binds to it — the hook the chaos layer uses to inject
+	// per-message faults between the endpoints and the real transport.
+	WrapTransport func(comm.Transport) comm.Transport
+	// RecvDeadline, when positive, bounds every blocking endpoint receive
+	// in real time: a receive that sees nothing for this long fails with a
+	// transient timeout (and after the endpoint's retry budget, a clean
+	// error). The last-resort conversion of a distributed hang into an
+	// error; leave zero for normal runs.
+	RecvDeadline time.Duration
+	// Retry, when non-nil, replaces every endpoint's transient-fault retry
+	// policy for the run.
+	Retry *comm.RetryPolicy
 }
 
 // Node is one rank's execution context, passed to the SPMD body.
@@ -138,6 +152,10 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("machine: unknown transport %d", cfg.Transport)
 	}
+	base := tr // the real transport, kept for transport-specific wiring
+	if cfg.WrapTransport != nil {
+		tr = cfg.WrapTransport(tr)
+	}
 	defer tr.Close()
 
 	fs := cfg.FS
@@ -156,7 +174,7 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 	}
 	if cfg.Monitor != nil {
 		fs.SetMonitor(cfg.Monitor)
-		if tt, ok := tr.(*comm.TCPTransport); ok {
+		if tt, ok := base.(*comm.TCPTransport); ok {
 			tt.SetMonitor(cfg.Monitor)
 		}
 		if r := cfg.Monitor.Recorder(); r != nil && cfg.Trace == nil {
@@ -170,6 +188,12 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 	for r := 0; r < cfg.NProcs; r++ {
 		n := &Node{rank: r, size: cfg.NProcs, fs: fs, prof: cfg.Profile, mon: cfg.Monitor}
 		n.ep = comm.NewEndpoint(r, cfg.NProcs, tr, &n.clock, cfg.Profile).SetMonitor(cfg.Monitor)
+		if cfg.Retry != nil {
+			n.ep.SetRetryPolicy(*cfg.Retry)
+		}
+		if cfg.RecvDeadline > 0 {
+			n.ep.SetRecvDeadline(cfg.RecvDeadline)
+		}
 		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives)
 		nodes[r] = n
 	}

@@ -76,6 +76,11 @@ func (m *MemBackend) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
+	// A zero-length write must not extend the file (pwrite semantics; the
+	// OS backend inherits this from the kernel, so the model must match).
+	if len(p) == 0 {
+		return 0, nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	end := off + int64(len(p))

@@ -47,9 +47,11 @@ func (om pfsOpMetrics) record(bytes int64, start, end float64) {
 	om.dur.Observe(end - start)
 }
 
-// pfsMetrics holds one handle set per PFS operation kind.
+// pfsMetrics holds one handle set per PFS operation kind, plus the
+// transient-fault retry counter.
 type pfsMetrics struct {
 	open, writeAt, readAt, pappend, pread, csync pfsOpMetrics
+	retries                                      *dsmon.Counter
 }
 
 // SetMonitor attaches the observability layer: per-operation counters and
@@ -75,6 +77,8 @@ func (fs *FileSystem) SetMonitor(m *dsmon.Monitor) {
 		pappend: mk("parallel_append"),
 		pread:   mk("parallel_read"),
 		csync:   mk("control_sync"),
+		retries: reg.Counter("pfs_io_retries_total",
+			"backend operations re-issued after a transient storage fault or short transfer"),
 	}
 	if r := m.Recorder(); r != nil && fs.rec == nil {
 		fs.rec = r
@@ -208,7 +212,7 @@ func (fs *FileSystem) Open(name string, nprocs, rank int, clock *vtime.Clock, tr
 			fs.mu.Unlock()
 			return nil, fmt.Errorf("pfs: open %q: %w", name, err)
 		}
-		f = &file{name: name, b: b, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		f = &file{name: name, b: &resilientBackend{Backend: b, fs: fs}, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
 		fs.files[name] = f
 	}
 	fs.mu.Unlock()
@@ -242,7 +246,7 @@ func (fs *FileSystem) InjectFault(name string, failAfter int) error {
 		if err != nil {
 			return err
 		}
-		f = &file{name: name, b: b, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		f = &file{name: name, b: &resilientBackend{Backend: b, fs: fs}, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
 		fs.files[name] = f
 	}
 	f.mu.Lock()

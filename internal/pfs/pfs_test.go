@@ -620,7 +620,8 @@ func TestMemBackendModelQuick(t *testing.T) {
 			for i, b := range op.Data {
 				model[off+int64(i)] = b
 			}
-			if end := off + int64(len(op.Data)); end > maxEnd {
+			// Zero-length writes do not extend the file (pwrite semantics).
+			if end := off + int64(len(op.Data)); len(op.Data) > 0 && end > maxEnd {
 				maxEnd = end
 			}
 		}

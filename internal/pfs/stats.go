@@ -15,6 +15,9 @@ type IOStats struct {
 	ControlSyncs      int64
 	BytesWritten      int64
 	BytesRead         int64
+	// IORetries counts backend operations re-issued after a transient
+	// storage fault or short transfer (zero on a healthy run).
+	IORetries int64
 }
 
 // ioCounters is the atomic backing store inside FileSystem.
@@ -27,6 +30,7 @@ type ioCounters struct {
 	controlSyncs      atomic.Int64
 	bytesWritten      atomic.Int64
 	bytesRead         atomic.Int64
+	ioRetries         atomic.Int64
 }
 
 func (c *ioCounters) snapshot() IOStats {
@@ -39,6 +43,7 @@ func (c *ioCounters) snapshot() IOStats {
 		ControlSyncs:      c.controlSyncs.Load(),
 		BytesWritten:      c.bytesWritten.Load(),
 		BytesRead:         c.bytesRead.Load(),
+		IORetries:         c.ioRetries.Load(),
 	}
 }
 
@@ -59,6 +64,7 @@ func (fs *FileSystem) ResetStats() {
 	c.controlSyncs.Store(0)
 	c.bytesWritten.Store(0)
 	c.bytesRead.Store(0)
+	c.ioRetries.Store(0)
 }
 
 // TotalOps returns the total number of I/O calls of any kind.

@@ -60,6 +60,12 @@ func (s *StripedBackend) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: negative offset %d", off)
 	}
+	// Zero-length writes must not extend the file (pwrite semantics): with
+	// no bytes to place, the size bookkeeping below would otherwise record
+	// off as the new end.
+	if len(p) == 0 {
+		return 0, nil
+	}
 	total := 0
 	for len(p) > 0 {
 		child, childOff := s.locate(off)
@@ -67,7 +73,10 @@ func (s *StripedBackend) WriteAt(p []byte, off int64) (int, error) {
 		if n > int64(len(p)) {
 			n = int64(len(p))
 		}
-		if _, err := s.children[child].WriteAt(p[:n], childOff); err != nil {
+		// Child writes go through the retry helper so a transient fault on
+		// one stripe device (e.g. a chaos-wrapped child) is resumed in place
+		// instead of failing the whole striped operation.
+		if _, err := retryWriteAt(s.children[child], p[:n], childOff, nil); err != nil {
 			return total, fmt.Errorf("pfs: stripe %d: %w", child, err)
 		}
 		p = p[n:]
@@ -102,7 +111,7 @@ func (s *StripedBackend) ReadAt(p []byte, off int64) (int, error) {
 		if n > want-int64(total) {
 			n = want - int64(total)
 		}
-		if _, err := s.children[child].ReadAt(p[total:total+int(n)], childOff); err != nil && err != io.EOF {
+		if _, err := retryReadAt(s.children[child], p[total:total+int(n)], childOff, nil); err != nil && err != io.EOF {
 			return total, fmt.Errorf("pfs: stripe %d: %w", child, err)
 		}
 		off += n
