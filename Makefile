@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase chaos-twophase
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ tables:
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench
 
+# The two-phase vs funnel vs parallel strategy ablation. Emits the grid as
+# BENCH_twophase.json and fails if two-phase never beats both classic paths.
+bench-twophase:
+	$(GO) run ./cmd/dstream-bench -twophase -twophase-json BENCH_twophase.json
+
+# Regenerate the public API surface golden after an intentional API change.
+# `make check` diffs the façade against testdata/api_surface.golden.
+api-golden:
+	$(GO) test . -run TestAPISurface -update
+
 # The chaos oracle: the full SCF write→read pipeline under seeded fault
 # schedules. Override the campaign with e.g.
 #   make chaos CHAOS_SEED=1000 CHAOS_N=2000
@@ -35,6 +45,10 @@ CHAOS_N    ?= 200
 
 chaos:
 	$(GO) test ./internal/chaos/ -v -run TestChaos -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
+# Same oracle with the two-phase collective strategy on both stream ends.
+chaos-twophase:
+	$(GO) test ./internal/chaos/ -v -run TestChaosOracleTwoPhase -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
 
 # Short fuzz pass over the wire codec and the schema decoder (the committed
 # corpora under testdata/fuzz replay in every plain `go test` run).

@@ -1,0 +1,108 @@
+package pcxxstreams
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+const goldenPath = "testdata/api_surface.golden"
+
+// publicSurface renders the exported declarations of the pcxxstreams façade
+// from source: files in sorted order, unexported declarations and function
+// bodies stripped, comments ignored. The rendering is deterministic, so a
+// byte-diff against the golden file is exactly an API diff.
+func publicSurface(t *testing.T) []byte {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs["pcxxstreams"]
+	if pkg == nil {
+		t.Fatalf("package pcxxstreams not found in %v", pkgs)
+	}
+	ast.PackageExports(pkg)
+
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "// Public API surface of package pcxxstreams.\n")
+	fmt.Fprintf(&buf, "// Regenerate with: go test . -run TestAPISurface -update\n\n")
+	cfg := printer.Config{Mode: printer.TabIndent, Tabwidth: 8}
+	for _, name := range names {
+		f := pkg.Files[name]
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				if len(d.Specs) == 0 {
+					continue
+				}
+			case *ast.FuncDecl:
+				d.Body = nil // surface, not implementation
+			}
+			if err := cfg.Fprint(&buf, fset, d); err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteString("\n\n")
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestAPISurface diffs the exported façade against the committed golden
+// file, so accidental API breaks (or silent additions) fail make check. On
+// an intentional change, regenerate with -update and review the diff in
+// code review like any other contract change.
+func TestAPISurface(t *testing.T) {
+	got := publicSurface(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v — regenerate with: go test . -run TestAPISurface -update", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("public API surface changed at line %d:\n  golden:  %q\n  current: %q\n"+
+				"If intentional, regenerate with: go test . -run TestAPISurface -update", i+1, w, g)
+		}
+	}
+	t.Fatal("public API surface changed (length mismatch); regenerate with -update if intentional")
+}

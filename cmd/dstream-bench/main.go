@@ -9,38 +9,48 @@
 //	dstream-bench -table 2        # one table
 //	dstream-bench -ablations     # the design-choice ablations
 //	dstream-bench -all -verify   # also verify data integrity per cell
+//	dstream-bench -twophase      # two-phase vs funnel vs parallel ablation
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	pcxx "pcxxstreams"
 	"pcxxstreams/internal/bench"
-	"pcxxstreams/internal/dsmon"
-	"pcxxstreams/internal/vtime"
 )
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate one table (1-4)")
-		all       = flag.Bool("all", false, "regenerate every table")
-		ablations = flag.Bool("ablations", false, "run the ablation experiments")
-		stats     = flag.Bool("stats", false, "print the per-variant I/O operation profile")
-		traceOut  = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
-		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
-		metrics   = flag.Bool("metrics", false, "print the dsmon metrics of one run (Prometheus text)")
-		metricsJS = flag.String("metrics-json", "", "write the dsmon metrics snapshot (JSON) to this file ('-' for stdout)")
-		variant   = flag.String("variant", "streams", "variant for -trace/-gantt/-metrics: unbuffered|manual|streams")
-		platforms = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
-		scaling   = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
-		verify    = flag.Bool("verify", false, "verify data integrity after every input phase")
-		check     = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
+		table      = flag.Int("table", 0, "regenerate one table (1-4)")
+		all        = flag.Bool("all", false, "regenerate every table")
+		ablations  = flag.Bool("ablations", false, "run the ablation experiments")
+		stats      = flag.Bool("stats", false, "print the per-variant I/O operation profile")
+		traceOut   = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
+		metrics    = flag.Bool("metrics", false, "print the dsmon metrics of one run (Prometheus text)")
+		metricsJS  = flag.String("metrics-json", "", "write the dsmon metrics snapshot (JSON) to this file ('-' for stdout)")
+		variant    = flag.String("variant", "streams", "variant for -trace/-gantt/-metrics: unbuffered|manual|streams")
+		strategy   = flag.String("strategy", "auto", "stream write strategy for -trace/-gantt/-metrics runs: auto|funnel|parallel|twophase")
+		twophase   = flag.Bool("twophase", false, "run the two-phase vs funnel vs parallel strategy ablation")
+		twophaseJS = flag.String("twophase-json", "", "write the two-phase ablation grid (JSON) to this file ('-' for stdout)")
+		platforms  = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
+		scaling    = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
+		verify     = flag.Bool("verify", false, "verify data integrity after every input phase")
+		check      = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
+		!*twophase && *twophaseJS == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
+	}
+
+	strat, err := pcxx.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *traceOut != "" || *gantt || *metrics || *metricsJS != "" {
@@ -49,10 +59,11 @@ func main() {
 		}[*variant]
 		// A tracing monitor gives one timeline (io + comm + collective +
 		// dstream spans) and the full metric registry from the same run.
-		mon := dsmon.NewTracing()
+		mon := pcxx.NewTracingMonitor()
 		rec := mon.Recorder()
 		if _, err := bench.Seconds(bench.Run{
-			Profile: vtime.Paragon(), NProcs: 4, Segments: 256, Variant: v, Monitor: mon,
+			Profile: pcxx.Paragon(), NProcs: 4, Segments: 256, Variant: v, Monitor: mon,
+			StreamOpts: pcxx.StreamOptions{Strategy: strat},
 		}); err != nil {
 			fatal(err)
 		}
@@ -129,8 +140,46 @@ func main() {
 		runAblations()
 	}
 
+	if *twophase || *twophaseJS != "" {
+		pts, err := bench.TwoPhaseSweep()
+		if err != nil {
+			fatal(err)
+		}
+		if *twophase {
+			formatTwoPhase(os.Stdout, pts)
+		}
+		if *twophaseJS != "" {
+			out := os.Stdout
+			if *twophaseJS != "-" {
+				f, err := os.Create(*twophaseJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bar for the strategy: at least one configuration
+		// where aggregation beats both classic paths outright.
+		wins := 0
+		for _, p := range pts {
+			if p.TwoPhase < p.Funnel && p.TwoPhase < p.Parallel {
+				wins++
+			}
+		}
+		if wins == 0 {
+			fatal(fmt.Errorf("two-phase never beat both funnel and parallel — aggregation is not paying for its shuffle"))
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: two-phase wins %d of %d grid cells outright\n", wins, len(pts))
+	}
+
 	if *stats {
-		if err := bench.OpProfile(os.Stdout, vtime.Paragon(), 4, 512); err != nil {
+		if err := bench.OpProfile(os.Stdout, pcxx.Paragon(), 4, 512); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
@@ -145,7 +194,7 @@ func main() {
 	}
 
 	if *scaling {
-		prof := vtime.Challenge()
+		prof := pcxx.Challenge()
 		procCounts := []int{1, 2, 4, 8, 16, 32, 64}
 		pts, err := bench.RunScalingSweep(prof, 2048, procCounts)
 		if err != nil {
@@ -156,7 +205,7 @@ func main() {
 }
 
 func runAblations() {
-	paragon := vtime.Paragon()
+	paragon := pcxx.Paragon()
 	fmt.Println("Ablation experiments (virtual seconds, paragon profile unless noted)")
 	fmt.Println("---------------------------------------------------------------------")
 
@@ -208,12 +257,25 @@ func runAblations() {
 	fmt.Printf("async write-behind (4 rounds of 0.5 s compute + checkpoint): sync %.3f s, async %.3f s (overlap saves %.3f s)\n\n",
 		syncT, asyncT, syncT-asyncT)
 
-	chanS, tcpS, err := bench.AblationTransport(vtime.Challenge(), 4, 128)
+	chanS, tcpS, err := bench.AblationTransport(pcxx.Challenge(), 4, 128)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("transport (challenge profile): chan %.6f vs tcp %.6f virtual s — identical=%v\n",
 		chanS, tcpS, chanS == tcpS)
+}
+
+func formatTwoPhase(w *os.File, pts []bench.StrategyPoint) {
+	fmt.Fprintln(w, "Two-phase collective buffering ablation (virtual seconds, SCF write+read)")
+	fmt.Fprintln(w, "--------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%-10s %6s %8s %9s %7s %10s %10s %10s   %s\n",
+		"platform", "procs", "segments", "particles", "stripe", "funnel", "parallel", "twophase", "winner")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %6d %8d %9d %7d %10.4f %10.4f %10.4f   %s\n",
+			p.Platform, p.NProcs, p.Segments, p.Particles, p.StripeFactor,
+			p.Funnel, p.Parallel, p.TwoPhase, p.Winner)
+	}
+	fmt.Fprintln(w)
 }
 
 func fatal(err error) {

@@ -19,7 +19,6 @@ import (
 	"os"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
@@ -56,14 +55,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown distribution %q", *dist))
 	}
-	var fs *pfs.FileSystem
+	var fs *pcxx.FileSystem
 	if *dir != "" {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			fatal(err)
 		}
-		fs = pfs.NewFileSystem(prof, pfs.OSFactory(*dir))
+		fs = pcxx.NewFileSystem(prof, pcxx.OSFactory(*dir))
 	} else {
-		fs = pfs.NewMemFS(prof)
+		fs = pcxx.NewMemFS(prof)
 	}
 
 	var mon *pcxx.Monitor
@@ -114,7 +113,7 @@ func main() {
 				// The SCF output pattern: save the particle data for later
 				// analysis with three lines of stream code.
 				name := fmt.Sprintf("particles.%04d", step)
-				s, err := pcxx.Output(n, d, name)
+				s, err := pcxx.Open(n, d, name)
 				if err != nil {
 					return err
 				}

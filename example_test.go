@@ -8,14 +8,13 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
 // newSharedFS creates one in-memory parallel file system shared by the
 // phases of an example.
-func newSharedFS() *pfs.FileSystem {
-	return pfs.NewMemFS(pcxx.Challenge())
+func newSharedFS() *pcxx.FileSystem {
+	return pcxx.NewMemFS(pcxx.Challenge())
 }
 
 // reading is the example element type: one fixed field, one variable-sized.
@@ -52,7 +51,7 @@ func Example_roundTrip() {
 			r.Samples = make([]float64, global%3+1)
 		})
 
-		s, err := pcxx.Output(n, d, "grid")
+		s, err := pcxx.Open(n, d, "grid")
 		if err != nil {
 			return err
 		}
@@ -66,7 +65,7 @@ func Example_roundTrip() {
 			return err
 		}
 
-		in, err := pcxx.Input(n, d, "grid")
+		in, err := pcxx.OpenInput(n, d, "grid")
 		if err != nil {
 			return err
 		}

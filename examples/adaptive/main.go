@@ -19,7 +19,6 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 )
 
 const (
@@ -84,7 +83,7 @@ func localBytes(c *pcxx.Collection[cell]) int {
 }
 
 func main() {
-	fs := pfs.NewMemFS(pcxx.Challenge())
+	fs := pcxx.NewMemFS(pcxx.Challenge())
 
 	// Phase 1: naive (BLOCK, BLOCK) mesh — the hot spot lands on one node.
 	var naiveMax, naiveMin float64
@@ -112,7 +111,7 @@ func main() {
 			naiveMax, naiveMin = max, min
 		}
 		// Checkpoint under the naive layout.
-		s, err := pcxx.Output(n, g2.Dist(), "grid.ck")
+		s, err := pcxx.Open(n, g2.Dist(), "grid.ck")
 		if err != nil {
 			return err
 		}
@@ -145,7 +144,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		in, err := pcxx.Input(n, bd, "grid.ck")
+		in, err := pcxx.OpenInput(n, bd, "grid.ck")
 		if err != nil {
 			return err
 		}
@@ -183,7 +182,7 @@ func main() {
 		}
 		// Checkpoint under the balanced layout: the explicit owner table
 		// rides inside the record.
-		s, err := pcxx.Output(n, bd, "grid-balanced.ck")
+		s, err := pcxx.Open(n, bd, "grid-balanced.ck")
 		if err != nil {
 			return err
 		}
@@ -216,7 +215,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			in, err := pcxx.Input(n, d, "grid-balanced.ck")
+			in, err := pcxx.OpenInput(n, d, "grid-balanced.ck")
 			if err != nil {
 				return err
 			}

@@ -14,7 +14,6 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
@@ -31,7 +30,7 @@ const (
 func frameName(step int) string { return fmt.Sprintf("frame.%04d", step) }
 
 func main() {
-	fs := pfs.NewMemFS(pcxx.Challenge())
+	fs := pcxx.NewMemFS(pcxx.Challenge())
 
 	// Producer: the simulation saves a frame every saveEvery steps.
 	var saved []int
@@ -51,7 +50,7 @@ func main() {
 			if step%saveEvery != 0 {
 				continue
 			}
-			s, err := pcxx.Output(n, d, frameName(step))
+			s, err := pcxx.Open(n, d, frameName(step))
 			if err != nil {
 				return err
 			}
@@ -92,7 +91,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			in, err := pcxx.Input(n, d, frameName(step))
+			in, err := pcxx.OpenInput(n, d, frameName(step))
 			if err != nil {
 				return err
 			}

@@ -18,7 +18,6 @@ import (
 	"path/filepath"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
@@ -39,7 +38,7 @@ func main() {
 
 	// Phase 1: simulate on 4 nodes with a CYCLIC distribution,
 	// checkpointing every ckEvery steps; "crash" after the checkpoint.
-	fs := pfs.NewFileSystem(pcxx.Paragon(), pfs.OSFactory(dir))
+	fs := pcxx.NewFileSystem(pcxx.Paragon(), pcxx.OSFactory(dir))
 	var sumAtCk float64
 	cfg := pcxx.Config{NProcs: 4, Profile: pcxx.Paragon(), FS: fs}
 	if _, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
@@ -57,7 +56,7 @@ func main() {
 			g.Apply(func(_ int, s *scf.Segment) { s.Step(0.01) })
 		}
 		// Checkpoint the full distributed state with three lines of I/O.
-		s, err := pcxx.Output(n, d, ckFile)
+		s, err := pcxx.Open(n, d, ckFile)
 		if err != nil {
 			return err
 		}
@@ -90,7 +89,7 @@ func main() {
 
 	// Phase 2: restart on 6 nodes with a BLOCK distribution. The library
 	// reads the writer's layout from the file and redistributes.
-	fs2 := pfs.NewFileSystem(pcxx.Paragon(), pfs.OSFactory(dir))
+	fs2 := pcxx.NewFileSystem(pcxx.Paragon(), pcxx.OSFactory(dir))
 	var sumAtRestart, sumAtEnd float64
 	cfg2 := pcxx.Config{NProcs: 6, Profile: pcxx.Paragon(), FS: fs2}
 	if _, err := pcxx.Run(cfg2, func(n *pcxx.Node) error {
@@ -102,7 +101,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		in, err := pcxx.Input(n, d, ckFile)
+		in, err := pcxx.OpenInput(n, d, ckFile)
 		if err != nil {
 			return err
 		}

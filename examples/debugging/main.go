@@ -20,7 +20,6 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
@@ -33,7 +32,7 @@ const (
 // simulate runs the dynamics and dumps the final state to file.
 // skipLastElement injects the classic off-by-one parallelization bug: the
 // last locally owned element never gets stepped.
-func simulate(fs *pfs.FileSystem, nprocs int, mode pcxx.Mode, file string, buggy bool) error {
+func simulate(fs *pcxx.FileSystem, nprocs int, mode pcxx.Mode, file string, buggy bool) error {
 	cfg := pcxx.Config{NProcs: nprocs, Profile: pcxx.Challenge(), FS: fs}
 	_, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
 		d, err := pcxx.NewDistribution(segments, nprocs, mode, 0)
@@ -55,7 +54,7 @@ func simulate(fs *pfs.FileSystem, nprocs int, mode pcxx.Mode, file string, buggy
 				local[l].Step(0.02)
 			}
 		}
-		s, err := pcxx.Output(n, d, file)
+		s, err := pcxx.Open(n, d, file)
 		if err != nil {
 			return err
 		}
@@ -73,7 +72,7 @@ func simulate(fs *pfs.FileSystem, nprocs int, mode pcxx.Mode, file string, buggy
 // compare reads both dumps on a single node (sorted reads restore global
 // element order regardless of how many nodes wrote each file) and returns
 // the global indices that differ.
-func compare(fs *pfs.FileSystem, fileA, fileB string) ([]int, error) {
+func compare(fs *pcxx.FileSystem, fileA, fileB string) ([]int, error) {
 	var diffs []int
 	cfg := pcxx.Config{NProcs: 1, Profile: pcxx.Challenge(), FS: fs}
 	_, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
@@ -86,7 +85,7 @@ func compare(fs *pfs.FileSystem, fileA, fileB string) ([]int, error) {
 			if err != nil {
 				return nil, err
 			}
-			in, err := pcxx.Input(n, d, file)
+			in, err := pcxx.OpenInput(n, d, file)
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +117,7 @@ func compare(fs *pfs.FileSystem, fileA, fileB string) ([]int, error) {
 }
 
 func main() {
-	fs := pfs.NewMemFS(pcxx.Challenge())
+	fs := pcxx.NewMemFS(pcxx.Challenge())
 
 	// Reference: sequential (1 node).
 	if err := simulate(fs, 1, pcxx.Block, "seq.out", false); err != nil {

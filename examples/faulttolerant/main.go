@@ -18,7 +18,6 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/scf"
 )
 
@@ -86,7 +85,7 @@ func main() {
 	}
 	fmt.Printf("reference (no faults): end fingerprint %.9f\n", want)
 
-	fs := pfs.NewMemFS(pcxx.Challenge())
+	fs := pcxx.NewMemFS(pcxx.Challenge())
 
 	// Run 1: checkpoints at steps 5 and 10 succeed; then the slot that
 	// epoch 15 will use (15 %% 2 = 1, file scf.ck.1) is poisoned, so the

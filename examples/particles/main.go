@@ -13,7 +13,6 @@ import (
 	"log"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 )
 
 // Position matches Figure 3's declarations.
@@ -77,7 +76,7 @@ const (
 func main() {
 	// One shared file system plays the role of the machine's disk across
 	// the two programs.
-	fs := pfs.NewMemFS(pcxx.Paragon())
+	fs := pcxx.NewMemFS(pcxx.Paragon())
 
 	if err := outputProgram(fs); err != nil {
 		log.Fatal("output program:", err)
@@ -89,7 +88,7 @@ func main() {
 }
 
 // outputProgram is Figure 3's left-hand program.
-func outputProgram(fs *pfs.FileSystem) error {
+func outputProgram(fs *pcxx.FileSystem) error {
 	cfg := pcxx.Config{NProcs: nprocs, Profile: pcxx.Paragon(), FS: fs}
 	_, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
 		// Processors P; Distribution d(12, &P, CYCLIC); Align a(...).
@@ -120,7 +119,7 @@ func outputProgram(fs *pfs.FileSystem) error {
 		g2.Apply(func(global int, c *cell) { c.ParticleDensity = float64(global) / 10 })
 
 		// oStream s(&d, &a, "wholeGridFile").
-		s, err := pcxx.Output(n, d, file)
+		s, err := pcxx.Open(n, d, file)
 		if err != nil {
 			return err
 		}
@@ -149,7 +148,7 @@ func outputProgram(fs *pfs.FileSystem) error {
 }
 
 // inputProgram is Figure 3's right-hand program.
-func inputProgram(fs *pfs.FileSystem) error {
+func inputProgram(fs *pcxx.FileSystem) error {
 	cfg := pcxx.Config{NProcs: nprocs, Profile: pcxx.Paragon(), FS: fs}
 	_, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
 		d, err := pcxx.NewDistribution(grid, nprocs, pcxx.Cyclic, 0)
@@ -166,7 +165,7 @@ func inputProgram(fs *pfs.FileSystem) error {
 		}
 
 		// iStream s(&d, &a, "wholeGridFile"); s.read(); s >> g.
-		s, err := pcxx.Input(n, d, file)
+		s, err := pcxx.OpenInput(n, d, file)
 		if err != nil {
 			return err
 		}

@@ -58,7 +58,7 @@ func main() {
 		})
 
 		// Output: oStream s(&d, &a, "stations"); s << g; s.write().
-		s, err := pcxx.Output(n, d, "stations")
+		s, err := pcxx.Open(n, d, "stations")
 		if err != nil {
 			return err
 		}
@@ -77,7 +77,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		in, err := pcxx.Input(n, d, "stations")
+		in, err := pcxx.OpenInput(n, d, "stations")
 		if err != nil {
 			return err
 		}

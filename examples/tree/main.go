@@ -112,7 +112,7 @@ func main() {
 		}
 		forest.Apply(func(g int, r *region) { r.Root = build(g, g%4+1) })
 
-		s, err := pcxx.Output(n, d, "forest")
+		s, err := pcxx.Open(n, d, "forest")
 		if err != nil {
 			return err
 		}
@@ -136,7 +136,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		in, err := pcxx.Input(n, rd, "forest")
+		in, err := pcxx.OpenInput(n, rd, "forest")
 		if err != nil {
 			return err
 		}

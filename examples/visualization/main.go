@@ -20,7 +20,6 @@ import (
 	"strings"
 
 	pcxx "pcxxstreams"
-	"pcxxstreams/internal/pfs"
 )
 
 // zone is one region of a simulated flow field.
@@ -38,7 +37,7 @@ const (
 )
 
 func main() {
-	fs := pfs.NewMemFS(pcxx.Challenge())
+	fs := pcxx.NewMemFS(pcxx.Challenge())
 
 	// Producer: a simulation on 8 nodes dumps one visualization frame.
 	// Density and velocity live in two separate (aligned) collections, as
@@ -59,7 +58,7 @@ func main() {
 			z.Velocity = float64(g) * 0.001
 		})
 
-		s, err := pcxx.Output(n, d, vizFile)
+		s, err := pcxx.Open(n, d, vizFile)
 		if err != nil {
 			return err
 		}
@@ -92,7 +91,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		in, err := pcxx.Input(n, d, vizFile)
+		in, err := pcxx.OpenInput(n, d, vizFile)
 		if err != nil {
 			return err
 		}

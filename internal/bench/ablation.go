@@ -50,7 +50,7 @@ func AblationSortedVsUnsorted(prof vtime.Profile, nprocs, segments int) (sorted,
 					return err
 				}
 				n.Clock().Reset()
-				return streamsRead(n, rd, back, "ab", v == StreamsSorted)
+				return streamsRead(n, rd, back, "ab", v == StreamsSorted, dstream.Options{})
 			})
 		if err != nil {
 			return 0, err
@@ -236,7 +236,7 @@ func AblationRedistribute(prof vtime.Profile, segments int) (same, changed float
 				if err != nil {
 					return err
 				}
-				return streamsRead(n, d, back, "ck", true)
+				return streamsRead(n, d, back, "ck", true, dstream.Options{})
 			})
 		if err != nil {
 			return 0, err

@@ -63,8 +63,15 @@ type Run struct {
 	Particles int // 0 means scf.DefaultParticles
 	Variant   Variant
 	Transport machine.TransportKind
-	// StreamOpts tunes the Streams variants (metadata policy ablations).
+	// StreamOpts tunes the Streams variants (strategy and metadata-policy
+	// ablations); it is applied to both the output and the input stream.
 	StreamOpts dstream.Options
+	// StripeFactor, when positive, backs the run's file system with a
+	// striped store of that many devices (StripeUnit bytes per cell,
+	// pfs.DefaultStripeUnit when zero) instead of a flat one — the geometry
+	// the two-phase strategy aggregates against.
+	StripeFactor int
+	StripeUnit   int64
 	// Verify re-checks every element after the input phase (on by default
 	// in tests; adds no virtual time).
 	Verify bool
@@ -100,6 +107,13 @@ func Measure(r Run) (Measurement, error) {
 		particles = scf.DefaultParticles
 	}
 	fs := pfs.NewMemFS(r.Profile)
+	if r.StripeFactor > 0 {
+		unit := r.StripeUnit
+		if unit <= 0 {
+			unit = pfs.DefaultStripeUnit
+		}
+		fs = pfs.NewFileSystem(r.Profile, pfs.StripedMemFactory(r.StripeFactor, unit))
+	}
 	mres, err := machine.Run(machine.Config{
 		NProcs:      r.NProcs,
 		Profile:     r.Profile,
@@ -148,7 +162,7 @@ func Measure(r Run) (Measurement, error) {
 			if err := streamsWrite(n, d, c, file, r.StreamOpts); err != nil {
 				return err
 			}
-			if err := streamsRead(n, d, back, file, r.Variant == StreamsSorted); err != nil {
+			if err := streamsRead(n, d, back, file, r.Variant == StreamsSorted, r.StreamOpts); err != nil {
 				return err
 			}
 		default:
@@ -182,7 +196,7 @@ func Measure(r Run) (Measurement, error) {
 }
 
 func streamsWrite(n *machine.Node, d *distr.Distribution, c *collection.Collection[scf.Segment], file string, opts dstream.Options) error {
-	s, err := dstream.OutputOpts(n, d, file, opts)
+	s, err := dstream.Open(n, d, file, dstream.WithOptions(opts))
 	if err != nil {
 		return err
 	}
@@ -195,8 +209,8 @@ func streamsWrite(n *machine.Node, d *distr.Distribution, c *collection.Collecti
 	return s.Close()
 }
 
-func streamsRead(n *machine.Node, d *distr.Distribution, c *collection.Collection[scf.Segment], file string, sorted bool) error {
-	s, err := dstream.Input(n, d, file)
+func streamsRead(n *machine.Node, d *distr.Distribution, c *collection.Collection[scf.Segment], file string, sorted bool, opts dstream.Options) error {
+	s, err := dstream.OpenInput(n, d, file, dstream.WithOptions(opts))
 	if err != nil {
 		return err
 	}

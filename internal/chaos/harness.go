@@ -33,6 +33,11 @@ type Config struct {
 	Records int
 	// Transport selects the underlying transport (chan by default).
 	Transport machine.TransportKind
+	// Strategy selects the d/stream collective data path for both the write
+	// and read sides of the pipeline (StrategyAuto by default), so the
+	// two-phase shuffle/scatter traffic is exposed to the fault schedule
+	// like every other path.
+	Strategy dstream.Strategy
 	// Rates is the fault schedule (DefaultRates() when zero — detected by
 	// an all-zero struct).
 	Rates Rates
@@ -126,7 +131,7 @@ func pipeline(cfg Config) func(*machine.Node) error {
 		}
 		src.Apply(func(g int, s *scf.Segment) { s.Fill(g, cfg.Particles) })
 
-		out, err := dstream.Output(n, dw, harnessFile)
+		out, err := dstream.Open(n, dw, harnessFile, dstream.WithStrategy(cfg.Strategy))
 		if err != nil {
 			return err
 		}
@@ -150,7 +155,7 @@ func pipeline(cfg Config) func(*machine.Node) error {
 		if err != nil {
 			return err
 		}
-		in, err := dstream.Input(n, dr, harnessFile)
+		in, err := dstream.OpenInput(n, dr, harnessFile, dstream.WithStrategy(cfg.Strategy))
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/machine"
 )
 
@@ -66,6 +67,41 @@ func TestChaosOracle(t *testing.T) {
 	requireAllKinds(t, rep)
 	if rep.OK == 0 {
 		t.Error("no seed completed successfully — default rates should mostly be survivable")
+	}
+}
+
+// TestChaosOracleTwoPhase reruns the full campaign with the two-phase
+// collective strategy on both stream directions, so the aggregation
+// shuffle, extent assembly, and scatter traffic face the same fault
+// schedules as the classic paths — with the same trichotomy verdict.
+func TestChaosOracleTwoPhase(t *testing.T) {
+	rep, err := RunSeeds(Config{Strategy: dstream.StrategyTwoPhase}, *chaosSeed, *chaosN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+	if rep.OK == 0 {
+		t.Error("no two-phase seed completed successfully — default rates should mostly be survivable")
+	}
+}
+
+// TestReferenceStrategyIdentity: the fault-free pipeline writes the same
+// bytes whichever strategy moves them — funnel, parallel, and two-phase are
+// rank-to-block assignments, not formats. This pins the cross-strategy
+// byte-identity acceptance criterion on the SCF pipeline itself.
+func TestReferenceStrategyIdentity(t *testing.T) {
+	ref, err := Reference(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []dstream.Strategy{dstream.StrategyFunnel, dstream.StrategyParallel, dstream.StrategyTwoPhase} {
+		img, err := Reference(Config{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !bytes.Equal(img, ref) {
+			t.Errorf("strategy %v image differs from auto reference (%d vs %d bytes)", s, len(img), len(ref))
+		}
 	}
 }
 

@@ -43,6 +43,10 @@ type Comm struct {
 	ep  *comm.Endpoint
 	seq uint64
 	alg Algorithm
+	// maxMsg, when positive, bounds one point-to-point payload inside the
+	// large-vector collectives (Alltoallv): bigger contributions travel as a
+	// framed chunk train. Must be set identically on every rank.
+	maxMsg int
 
 	// Observability. mon is inherited from the endpoint; ops caches the
 	// per-operation metric handles. Like every Comm field, ops is touched
@@ -311,10 +315,106 @@ func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
 	return d, nil
 }
 
+// SetMaxMsgBytes bounds one point-to-point payload inside the large-vector
+// collectives; contributions larger than n are framed into a chunk train of
+// at most n data bytes per message. Zero (the default) disables chunking.
+// Every rank of the group must use the same setting — the framing is part
+// of the wire protocol.
+func (c *Comm) SetMaxMsgBytes(n int) *Comm {
+	c.maxMsg = n
+	return c
+}
+
+// MaxMsgBytes reports the active chunking bound (0 = unchunked).
+func (c *Comm) MaxMsgBytes() int { return c.maxMsg }
+
+// vecChunk returns the chunk size used for a payload of total bytes: at
+// least maxMsg, raised so the chunk count fits the 16-bit sub-index space of
+// the tag layout. Deterministic from (maxMsg, total), so sender and receiver
+// agree without negotiation.
+func (c *Comm) vecChunk(total int) int {
+	chunk := c.maxMsg
+	const maxChunks = 1 << 15 // sub 0 is the header frame; keep headroom
+	if need := (total + maxChunks - 1) / maxChunks; chunk < need {
+		chunk = need
+	}
+	return chunk
+}
+
+// sendVec sends one alltoallv contribution. Unchunked mode (maxMsg == 0)
+// sends the payload as a single message. Chunked mode frames it: sub 0
+// carries a u32 total length plus the first chunk; subsequent chunks ride
+// sub 1, 2, … — so arbitrarily large contributions never exceed the
+// configured message bound.
+func (c *Comm) sendVec(to int, seq uint64, data []byte) error {
+	if c.maxMsg <= 0 {
+		return c.ep.Send(to, tag(kindAlltoall, seq, 0), data)
+	}
+	chunk := c.vecChunk(len(data))
+	first := len(data)
+	if first > chunk {
+		first = chunk
+	}
+	frame := make([]byte, 4+first)
+	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data[:first])
+	if err := c.ep.Send(to, tag(kindAlltoall, seq, 0), frame); err != nil {
+		return err
+	}
+	for sub, off := 1, first; off < len(data); sub++ {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := c.ep.Send(to, tag(kindAlltoall, seq, sub), data[off:end]); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}
+
+// recvVec receives one alltoallv contribution, reassembling the chunk train
+// when chunking is on.
+func (c *Comm) recvVec(from int, seq uint64) ([]byte, error) {
+	d, err := c.ep.Recv(from, tag(kindAlltoall, seq, 0))
+	if err != nil {
+		return nil, err
+	}
+	if c.maxMsg <= 0 {
+		return d, nil
+	}
+	if len(d) < 4 {
+		return nil, fmt.Errorf("collective: alltoallv header frame too short (%d bytes)", len(d))
+	}
+	total := int(binary.LittleEndian.Uint32(d))
+	out := d[4:]
+	if len(out) > total {
+		return nil, fmt.Errorf("collective: alltoallv first chunk overruns total (%d > %d)", len(out), total)
+	}
+	if len(out) < total {
+		buf := make([]byte, len(out), total)
+		copy(buf, out)
+		out = buf
+		for sub := 1; len(out) < total; sub++ {
+			d, err := c.ep.Recv(from, tag(kindAlltoall, seq, sub))
+			if err != nil {
+				return nil, err
+			}
+			if len(out)+len(d) > total {
+				return nil, fmt.Errorf("collective: alltoallv chunk %d overruns total", sub)
+			}
+			out = append(out, d...)
+		}
+	}
+	return out, nil
+}
+
 // Alltoallv delivers bufs[j] from each rank to rank j; the result holds, in
 // rank order, what every rank sent to the caller. len(bufs) must equal
 // Size(). All ranks leave synchronized (a barrier closes the exchange, as
-// with a synchronized NX exchange).
+// with a synchronized NX exchange). Contributions larger than the configured
+// message bound (SetMaxMsgBytes) are chunked transparently.
 func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 	defer c.instrument("alltoallv")()
 	n := c.Size()
@@ -327,7 +427,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 		if r == me {
 			continue
 		}
-		if err := c.ep.Send(r, tag(kindAlltoall, seq, 0), bufs[r]); err != nil {
+		if err := c.sendVec(r, seq, bufs[r]); err != nil {
 			return nil, fmt.Errorf("collective: alltoallv send to %d: %w", r, err)
 		}
 	}
@@ -340,7 +440,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 		if r == me {
 			continue
 		}
-		d, err := c.ep.Recv(r, tag(kindAlltoall, seq, 0))
+		d, err := c.recvVec(r, seq)
 		if err != nil {
 			return nil, fmt.Errorf("collective: alltoallv recv from %d: %w", r, err)
 		}

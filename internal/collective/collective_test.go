@@ -199,6 +199,67 @@ func TestAlltoallvSelfCopyIsolation(t *testing.T) {
 	})
 }
 
+func TestAlltoallvChunked(t *testing.T) {
+	// With a message bound far below the payload sizes, contributions travel
+	// as framed chunk trains; the result must be identical to the unchunked
+	// exchange, including empty and sub-chunk-size payloads.
+	const n = 4
+	spmd(t, n, func(c *Comm) error {
+		c.SetMaxMsgBytes(64)
+		me := c.Rank()
+		bufs := make([][]byte, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case me == 1 && j == 2:
+				bufs[j] = nil // empty contribution
+			case me == 2 && j == 1:
+				bufs[j] = []byte{0xAB} // smaller than one chunk
+			default:
+				bufs[j] = bytes.Repeat([]byte{byte(10*me + j)}, 500+13*me+j)
+			}
+		}
+		got, err := c.Alltoallv(bufs)
+		if err != nil {
+			return err
+		}
+		for r, p := range got {
+			var want []byte
+			switch {
+			case r == 1 && me == 2:
+				want = nil
+			case r == 2 && me == 1:
+				want = []byte{0xAB}
+			default:
+				want = bytes.Repeat([]byte{byte(10*r + me)}, 500+13*r+me)
+			}
+			if !bytes.Equal(p, want) {
+				return fmt.Errorf("rank %d from %d: got %d bytes, want %d", me, r, len(p), len(want))
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallvChunkAutoRaise(t *testing.T) {
+	// A pathologically small bound must still move a payload whose chunk
+	// count would overflow the 16-bit sub-index space: the chunk size is
+	// raised deterministically instead.
+	spmd(t, 2, func(c *Comm) error {
+		c.SetMaxMsgBytes(1)
+		me := c.Rank()
+		big := bytes.Repeat([]byte{byte(me + 1)}, 1<<16) // 64Ki payload, bound 1
+		got, err := c.Alltoallv([][]byte{big, big})
+		if err != nil {
+			return err
+		}
+		want := bytes.Repeat([]byte{byte(2 - me)}, 1<<16)
+		if !bytes.Equal(got[1-me], want) {
+			return fmt.Errorf("rank %d: chunked payload corrupted", me)
+		}
+		return nil
+	})
+}
+
 func TestAlltoallvWrongLen(t *testing.T) {
 	spmd(t, 2, func(c *Comm) error {
 		if _, err := c.Alltoallv(make([][]byte, 3)); err == nil {

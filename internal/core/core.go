@@ -27,17 +27,50 @@ type (
 	Extractor = dstream.Extractor
 	// Options tunes stream behaviour.
 	Options = dstream.Options
+	// Option is one functional stream setting for Open/OpenInput.
+	Option = dstream.Option
+	// Strategy selects the collective data path of a stream.
+	Strategy = dstream.Strategy
 	// MetaPolicy selects the metadata write path.
+	//
+	// Deprecated: use Strategy instead.
 	MetaPolicy = dstream.MetaPolicy
+)
+
+// Stream strategies.
+const (
+	// StrategyAuto picks funnel or parallel per record by collection size.
+	StrategyAuto = dstream.StrategyAuto
+	// StrategyFunnel routes metadata and data through node 0's block.
+	StrategyFunnel = dstream.StrategyFunnel
+	// StrategyParallel writes with every node hitting the PFS directly.
+	StrategyParallel = dstream.StrategyParallel
+	// StrategyTwoPhase shuffles to stripe-aligned aggregators first.
+	StrategyTwoPhase = dstream.StrategyTwoPhase
 )
 
 // Stream constructors.
 var (
+	// Open opens an output d/stream with functional options.
+	Open = dstream.Open
+	// OpenInput opens an input d/stream with functional options.
+	OpenInput = dstream.OpenInput
+	// WithStrategy selects the collective data path.
+	WithStrategy = dstream.WithStrategy
+	// WithAsync makes output writes write-behind.
+	WithAsync = dstream.WithAsync
+
 	// Output opens an output d/stream.
+	//
+	// Deprecated: use Open.
 	Output = dstream.Output
 	// OutputOpts opens an output d/stream with options.
+	//
+	// Deprecated: use Open with functional options.
 	OutputOpts = dstream.OutputOpts
 	// Input opens an input d/stream.
+	//
+	// Deprecated: use OpenInput.
 	Input = dstream.Input
 )
 
@@ -49,4 +82,6 @@ var (
 	ErrNotAligned = dstream.ErrNotAligned
 	// ErrOrder reports a Figure 2 state-machine violation.
 	ErrOrder = dstream.ErrOrder
+	// ErrIO wraps a flush or refill that failed in the layers below.
+	ErrIO = dstream.ErrIO
 )

@@ -89,7 +89,22 @@ const (
 const DefaultFunnelThreshold = 4096
 
 // Options tune a stream; the zero value gives the paper's defaults.
+// Prefer building them through Open/OpenInput's functional options; the
+// struct remains exported for the deprecated OutputOpts/InputOpts
+// constructors.
 type Options struct {
+	// Strategy selects the collective data path. StrategyAuto (the zero
+	// value) defers to the legacy Meta policy and the funnel-threshold
+	// heuristic; an explicit strategy overrides both.
+	Strategy Strategy
+	// Aggregators overrides the two-phase aggregator count; zero derives K
+	// from the file's stripe factor.
+	Aggregators int
+
+	// Meta is the legacy metadata-path policy, honored only under
+	// StrategyAuto.
+	//
+	// Deprecated: use Strategy (WithStrategy) instead.
 	Meta            MetaPolicy
 	FunnelThreshold int // 0 means DefaultFunnelThreshold
 	// Strict enforces the full Figure 2 contract on input streams: every
@@ -175,6 +190,15 @@ type streamMetrics struct {
 	// the disk kept working after Write returned — the overlapped share;
 	// flushStall{phase="write"} holds the blocked share.
 	asyncOverlap *dsmon.Histogram
+	// Two-phase accounting: shuffleBytes observes the per-node payload
+	// exchanged over the interconnect during the aggregation shuffle;
+	// extentBytes observes the stripe-aligned extent each aggregator moved
+	// to or from the file; shuffleStall observes the virtual seconds the
+	// shuffle phase (alltoallv + extent assembly) kept the node from
+	// computing.
+	shuffleBytes *dsmon.Histogram
+	extentBytes  *dsmon.Histogram
+	shuffleStall *dsmon.Histogram
 }
 
 // newStreamMetrics binds the dstream metric families in m's registry.
@@ -202,6 +226,12 @@ func newStreamMetrics(m *dsmon.Monitor) *streamMetrics {
 			"virtual seconds a read/unsortedRead kept the node from computing", dsmon.LatencyBuckets),
 		asyncOverlap: reg.Histogram("dstream_async_overlap_seconds",
 			"virtual seconds of disk transfer overlapped with computation per async append", dsmon.LatencyBuckets),
+		shuffleBytes: reg.Histogram("dstream_twophase_shuffle_bytes",
+			"per-node payload bytes exchanged in the two-phase aggregation shuffle", dsmon.SizeBuckets),
+		extentBytes: reg.Histogram("dstream_twophase_extent_bytes",
+			"stripe-aligned extent bytes per aggregator transfer", dsmon.SizeBuckets),
+		shuffleStall: reg.Histogram("dstream_twophase_shuffle_stall_seconds",
+			"virtual seconds the two-phase shuffle kept the node from computing", dsmon.LatencyBuckets),
 	}
 }
 

@@ -29,13 +29,21 @@ type IStream struct {
 // layout is discovered from the file itself (§4.1: "no information about
 // the distribution or size of the data to be read needs to be passed to the
 // library by the programmer").
+//
+// Deprecated: use OpenInput.
 func Input(node *machine.Node, d *distr.Distribution, name string) (*IStream, error) {
-	return InputOpts(node, d, name, Options{})
+	return openInput(node, d, name, Options{})
 }
 
-// InputOpts opens an input d/stream with explicit options (notably Strict
-// extraction enforcement).
+// InputOpts opens an input d/stream with an explicit Options struct.
+//
+// Deprecated: use OpenInput with functional options.
 func InputOpts(node *machine.Node, d *distr.Distribution, name string, opts Options) (*IStream, error) {
+	return openInput(node, d, name, opts)
+}
+
+// openInput is the collective open every input constructor funnels into.
+func openInput(node *machine.Node, d *distr.Distribution, name string, opts Options) (*IStream, error) {
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
@@ -167,10 +175,17 @@ func (s *IStream) read(sorted bool) error {
 	}
 	lo, hi := starts[me], starts[me+1]
 
-	// Step 3: one parallel read of this node's contiguous share of the
-	// data section (conforming to the layout on disk).
-	rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
-	chunk, err := s.f.ParallelRead(rg)
+	// Step 3: move this node's contiguous share of the data section out of
+	// the file — with one direct parallel read (conforming to the layout on
+	// disk), or, under the two-phase strategy, through aggregators that
+	// refill stripe-aligned extents once and scatter slices to consumers.
+	var chunk []byte
+	if s.opts.strategy(n) == StrategyTwoPhase {
+		chunk, err = s.refillTwoPhase(dataStart, offs, starts)
+	} else {
+		rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
+		chunk, err = s.f.ParallelRead(rg)
+	}
 	if err != nil {
 		return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
 	}

@@ -31,13 +31,23 @@ type OStream struct {
 
 // Output opens an output d/stream for collections distributed by d, backed
 // by the named file, with default options.
+//
+// Deprecated: use Open.
 func Output(node *machine.Node, d *distr.Distribution, name string) (*OStream, error) {
-	return OutputOpts(node, d, name, Options{})
+	return openOutput(node, d, name, Options{})
 }
 
-// OutputOpts opens an output d/stream with explicit options. Every node of
-// the machine must make the matching call (open is collective).
+// OutputOpts opens an output d/stream with an explicit Options struct.
+//
+// Deprecated: use Open with functional options (or WithOptions to migrate a
+// struct literal wholesale).
 func OutputOpts(node *machine.Node, d *distr.Distribution, name string, opts Options) (*OStream, error) {
+	return openOutput(node, d, name, opts)
+}
+
+// openOutput is the collective open every output constructor funnels into.
+// Every node of the machine must make the matching call.
+func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Options) (*OStream, error) {
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
@@ -174,14 +184,16 @@ func (s *OStream) Write() error {
 	s.met.fill.Add(-float64(s.groupBytes))
 	s.groupBytes = 0
 
-	funnel := s.opts.Meta == MetaFunnel ||
-		(s.opts.Meta == MetaAuto && s.dist.N < s.opts.funnelThreshold())
-
-	if funnel {
+	switch s.opts.strategy(s.dist.N) {
+	case StrategyFunnel:
 		if err := s.writeFunnel(nArrays, localSizes, data); err != nil {
 			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
 		}
-	} else {
+	case StrategyTwoPhase:
+		if err := s.writeTwoPhase(nArrays, localSizes, data); err != nil {
+			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
+		}
+	default:
 		if err := s.writeParallel(nArrays, localSizes, data); err != nil {
 			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
 		}

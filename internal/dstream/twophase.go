@@ -1,0 +1,234 @@
+package dstream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/pfs"
+)
+
+// Two-phase collective buffering: instead of every rank hitting the PFS
+// with its own (often small) block, the ranks shuffle their encoded element
+// payloads over the interconnect to K aggregator ranks, each of which moves
+// one large stripe-aligned contiguous extent in a single parallel
+// operation. K follows the file's stripe factor, so one aggregator feeds
+// one stripe device — the server-side data reorganization of the
+// ViPIOS/MPI-IO collective-I/O line of work, grafted onto the paper's
+// d/stream record format without changing a byte of it.
+
+// twoPhaseAggregators returns the aggregator count K: the explicit
+// Options.Aggregators override, else the file's stripe factor, clamped to
+// [1, nprocs]. Aggregators are ranks 0..K-1.
+func twoPhaseAggregators(o Options, l pfs.Layout, nprocs int) int {
+	k := o.Aggregators
+	if k <= 0 {
+		k = l.StripeFactor
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > nprocs {
+		k = nprocs
+	}
+	return k
+}
+
+// stripeCuts partitions the [0, total) byte span of a data section that
+// will occupy file offsets [base, base+total) into k contiguous extents.
+// Interior boundaries are pulled up to the nearest stripe-cell boundary of
+// the file, so each aggregator's extent covers whole cells (except at the
+// ragged ends of the record). The k+1 cut points are monotone, with
+// cuts[0] = 0 and cuts[k] = total; an extent may be empty when the record
+// is smaller than the stripe geometry.
+func stripeCuts(base, total int64, k int, unit int64) []int64 {
+	cuts := make([]int64, k+1)
+	cuts[k] = total
+	for j := 1; j < k; j++ {
+		ideal := base + total*int64(j)/int64(k)
+		aligned := ideal
+		if unit > 0 {
+			aligned = (ideal + unit - 1) / unit * unit
+		}
+		cut := aligned - base
+		if cut < cuts[j-1] {
+			cut = cuts[j-1]
+		}
+		if cut > total {
+			cut = total
+		}
+		cuts[j] = cut
+	}
+	return cuts
+}
+
+// writeTwoPhase is the two-phase record flush. The record's bytes are
+// identical to writeFunnel's: metadata funnels through node 0 and rides the
+// same single parallel append as the data; only the rank→block assignment
+// of the data section changes, from "every rank appends its own elements"
+// to "K aggregators append stripe-aligned extents".
+func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) error {
+	comm := s.node.Comm()
+	me := s.node.Rank()
+	nprocs := s.node.Size()
+	shuffleStart := s.node.Clock().Now()
+
+	// Every rank learns every rank's data byte count, so the aggregation
+	// plan is computed locally — and identically — everywhere.
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	lenParts, err := comm.Allgather(lenBuf[:])
+	if err != nil {
+		return fmt.Errorf("dstream: allgather data sizes: %w", err)
+	}
+	rankOff := make([]int64, nprocs+1)
+	for r, p := range lenParts {
+		if len(p) != 8 {
+			return fmt.Errorf("dstream: bad size contribution from rank %d", r)
+		}
+		rankOff[r+1] = rankOff[r] + int64(binary.LittleEndian.Uint64(p))
+	}
+	total := rankOff[nprocs]
+
+	// The size table funnels through node 0 as in writeFunnel, placed at
+	// the head of its block so metadata and data move in one operation.
+	parts, err := comm.Gather(0, enc.EncodeSizeTable(localSizes))
+	if err != nil {
+		return fmt.Errorf("dstream: gather sizes: %w", err)
+	}
+
+	// Aggregation plan: the data section will start metaLen bytes past the
+	// current end of file; cut it into K extents at stripe boundaries.
+	layout := s.f.Layout()
+	k := twoPhaseAggregators(s.opts, layout, nprocs)
+	h, desc := headerFor(s.dist, nArrays, uint64(total))
+	metaLen := enc.RecordHeaderLen + int64(len(desc)) + int64(4*s.dist.N)
+	base := s.f.Size() + metaLen
+	cuts := stripeCuts(base, total, k, layout.StripeUnit)
+
+	// Shuffle: each rank slices its contiguous payload [lo, hi) of the data
+	// section by the extent cuts and sends each aggregator its overlap.
+	// Within an extent, ascending sender rank is ascending file offset, so
+	// concatenating the received pieces rebuilds the extent contiguously.
+	bufs := make([][]byte, nprocs)
+	var sent int64
+	lo, hi := rankOff[me], rankOff[me+1]
+	for j := 0; j < k; j++ {
+		a, b := max(lo, cuts[j]), min(hi, cuts[j+1])
+		if a >= b {
+			continue
+		}
+		bufs[j] = data[a-lo : b-lo]
+		if j != me {
+			sent += b - a
+		}
+	}
+	recv, err := comm.Alltoallv(bufs)
+	if err != nil {
+		return fmt.Errorf("dstream: two-phase shuffle: %w", err)
+	}
+
+	// Aggregators assemble their extent; every other rank contributes an
+	// empty block to the closing append.
+	var block []byte
+	if me < k {
+		extLen := cuts[me+1] - cuts[me]
+		ext := make([]byte, 0, extLen)
+		for _, p := range recv {
+			ext = append(ext, p...)
+		}
+		if int64(len(ext)) != extLen {
+			return fmt.Errorf("dstream: extent %d assembled %d of %d bytes", me, len(ext), extLen)
+		}
+		s.node.CopyCost(int64(len(ext)))
+		s.met.extentBytes.Observe(float64(len(ext)))
+		block = ext
+	}
+	s.met.shuffleBytes.Observe(float64(sent))
+	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
+
+	if me == 0 {
+		var allSizes []byte
+		for _, p := range parts {
+			allSizes = append(allSizes, p...)
+		}
+		if int64(len(allSizes)) != int64(4*s.dist.N) {
+			return fmt.Errorf("dstream: reassembled size table is %d bytes, want %d", len(allSizes), 4*s.dist.N)
+		}
+		meta := append(h.Encode(), desc...)
+		meta = append(meta, allSizes...)
+		block = append(meta, block...)
+	}
+	return s.appendRecordBlock(block, "two-phase append")
+}
+
+// refillTwoPhase is the read-side mirror: K aggregators refill
+// stripe-aligned extents of the record's data section with one large
+// parallel read each, then scatter to every rank the overlap with its
+// contiguous share [offs[starts[me]], offs[starts[me+1]]). Returns this
+// node's share, byte-identical to what the direct ParallelRead path yields.
+func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int) ([]byte, error) {
+	comm := s.node.Comm()
+	me := s.node.Rank()
+	nprocs := s.node.Size()
+	total := offs[len(offs)-1]
+	shuffleStart := s.node.Clock().Now()
+
+	layout := s.f.Layout()
+	k := twoPhaseAggregators(s.opts, layout, nprocs)
+	cuts := stripeCuts(dataStart, total, k, layout.StripeUnit)
+
+	// Phase one: aggregators read their extent; other ranks contribute an
+	// empty range to the rendezvous.
+	var rg pfs.Range
+	if me < k {
+		rg = pfs.Range{Off: dataStart + cuts[me], Len: int(cuts[me+1] - cuts[me])}
+	}
+	ext, err := s.f.ParallelRead(rg)
+	if err != nil {
+		return nil, fmt.Errorf("dstream: two-phase refill: %w", err)
+	}
+	if me < k {
+		s.met.extentBytes.Observe(float64(len(ext)))
+	}
+
+	// Per-rank byte ranges of the data section under the reader split.
+	rankOff := make([]int64, nprocs+1)
+	for r := 0; r <= nprocs; r++ {
+		rankOff[r] = offs[starts[r]]
+	}
+
+	// Phase two: scatter. Aggregator j sends rank r the overlap of its
+	// extent with r's byte range; r reassembles its share by concatenating
+	// in aggregator order (ascending file offset).
+	bufs := make([][]byte, nprocs)
+	var sent int64
+	if me < k {
+		elo, ehi := cuts[me], cuts[me+1]
+		for r := 0; r < nprocs; r++ {
+			a, b := max(elo, rankOff[r]), min(ehi, rankOff[r+1])
+			if a >= b {
+				continue
+			}
+			bufs[r] = ext[a-elo : b-elo]
+			if r != me {
+				sent += b - a
+			}
+		}
+	}
+	recv, err := comm.Alltoallv(bufs)
+	if err != nil {
+		return nil, fmt.Errorf("dstream: two-phase scatter: %w", err)
+	}
+	want := rankOff[me+1] - rankOff[me]
+	chunk := make([]byte, 0, want)
+	for _, p := range recv {
+		chunk = append(chunk, p...)
+	}
+	if int64(len(chunk)) != want {
+		return nil, fmt.Errorf("dstream: two-phase refill assembled %d of %d bytes", len(chunk), want)
+	}
+	s.met.shuffleBytes.Observe(float64(sent))
+	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
+	return chunk, nil
+}

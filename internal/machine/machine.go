@@ -50,6 +50,11 @@ type Config struct {
 	// Collectives selects the collective algorithm (Linear by default;
 	// Tree scales to large node counts).
 	Collectives collective.Algorithm
+	// MaxMsgBytes, when positive, bounds one point-to-point payload inside
+	// the large-vector collectives (Alltoallv); larger contributions are
+	// chunked transparently. Applied uniformly across the group, as the
+	// framing is part of the wire protocol.
+	MaxMsgBytes int
 	// WrapTransport, when non-nil, wraps the run's transport before any
 	// endpoint binds to it — the hook the chaos layer uses to inject
 	// per-message faults between the endpoints and the real transport.
@@ -194,7 +199,7 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 		if cfg.RecvDeadline > 0 {
 			n.ep.SetRecvDeadline(cfg.RecvDeadline)
 		}
-		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives)
+		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives).SetMaxMsgBytes(cfg.MaxMsgBytes)
 		nodes[r] = n
 	}
 	for r := 0; r < cfg.NProcs; r++ {

@@ -1,0 +1,63 @@
+package pfs
+
+// DefaultStripeUnit is the stripe cell size assumed for backends that do not
+// expose their geometry — the 64 KB default stripe unit of the Paragon PFS.
+const DefaultStripeUnit int64 = 64 << 10
+
+// Layout describes the stripe geometry of the storage behind one file: how
+// many devices (I/O nodes) the image is dealt across and the cell size of
+// the deal. Collective-I/O engines use it to pick aggregator counts and to
+// align extents so one aggregator's write maps to whole stripe cells —
+// exactly the "knowledge of parallel I/O, disk striping, and memory
+// alignment" §2 says raw interfaces demand and the library should
+// encapsulate.
+type Layout struct {
+	// StripeUnit is the bytes per stripe cell.
+	StripeUnit int64
+	// StripeFactor is the number of stripe devices the file is dealt across.
+	StripeFactor int
+}
+
+// AlignUp returns the smallest stripe-cell boundary at or above off.
+func (l Layout) AlignUp(off int64) int64 {
+	if l.StripeUnit <= 0 {
+		return off
+	}
+	return (off + l.StripeUnit - 1) / l.StripeUnit * l.StripeUnit
+}
+
+// LayoutProvider is implemented by backends that know their stripe
+// geometry (notably StripedBackend). Backends that don't are reported with
+// the file system's default geometry.
+type LayoutProvider interface {
+	Layout() Layout
+}
+
+// Layout returns the stripe geometry of the file behind this handle. If the
+// backend exposes its real geometry that is returned; otherwise the
+// geometry defaults to the platform profile's I/O channel count with the
+// default stripe unit, so strategy choices degrade gracefully on flat
+// backends. No virtual time is charged: the geometry is mount-time
+// knowledge, not a metadata round trip.
+func (h *File) Layout() Layout {
+	if lp, ok := h.f.b.(LayoutProvider); ok {
+		if l := lp.Layout(); l.StripeFactor > 0 && l.StripeUnit > 0 {
+			return l
+		}
+	}
+	c := h.fs.prof.IOChannels
+	if c <= 0 {
+		c = 1
+	}
+	return Layout{StripeUnit: DefaultStripeUnit, StripeFactor: c}
+}
+
+// Layout implements LayoutProvider by delegating to the wrapped backend, so
+// the retry layer is transparent to geometry queries. A backend without
+// geometry yields the zero Layout, which File.Layout treats as unknown.
+func (rb *resilientBackend) Layout() Layout {
+	if lp, ok := rb.Backend.(LayoutProvider); ok {
+		return lp.Layout()
+	}
+	return Layout{}
+}

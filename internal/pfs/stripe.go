@@ -123,6 +123,11 @@ func (s *StripedBackend) ReadAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
+// Layout implements LayoutProvider: the real stripe geometry.
+func (s *StripedBackend) Layout() Layout {
+	return Layout{StripeUnit: s.unit, StripeFactor: len(s.children)}
+}
+
 // Size implements Backend.
 func (s *StripedBackend) Size() int64 {
 	s.mu.Lock()

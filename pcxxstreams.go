@@ -32,6 +32,7 @@ import (
 	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/grid"
 	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/replicated"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
@@ -185,10 +186,30 @@ type (
 	Inserter = dstream.Inserter
 	// Extractor is implemented by self-extracting element types.
 	Extractor = dstream.Extractor
-	// StreamOptions tunes metadata policy (funnel vs parallel write).
+	// StreamOptions is the stream settings struct behind the functional
+	// options; prefer Open/OpenInput with With* options.
 	StreamOptions = dstream.Options
+	// StreamOption is one functional stream setting for Open/OpenInput.
+	StreamOption = dstream.Option
+	// Strategy selects the collective data path of a stream (funnel,
+	// parallel, two-phase, or the auto heuristic).
+	Strategy = dstream.Strategy
 	// MetaPolicy selects the metadata path of §4.1 step 1.
+	//
+	// Deprecated: use Strategy (WithStrategy) instead.
 	MetaPolicy = dstream.MetaPolicy
+)
+
+// Stream strategies.
+const (
+	// StrategyAuto picks funnel or parallel per record by collection size.
+	StrategyAuto = dstream.StrategyAuto
+	// StrategyFunnel routes metadata and data through node 0's block.
+	StrategyFunnel = dstream.StrategyFunnel
+	// StrategyParallel writes with every node hitting the PFS directly.
+	StrategyParallel = dstream.StrategyParallel
+	// StrategyTwoPhase shuffles to stripe-aligned aggregators first.
+	StrategyTwoPhase = dstream.StrategyTwoPhase
 )
 
 // Metadata policies.
@@ -203,11 +224,40 @@ const (
 
 // Stream constructors and sentinel errors.
 var (
+	// Open opens an output d/stream with functional options:
+	// Open(n, d, "file", WithStrategy(StrategyTwoPhase), WithAsync()).
+	Open = dstream.Open
+	// OpenInput opens an input d/stream with functional options.
+	OpenInput = dstream.OpenInput
+	// ParseStrategy maps a flag value to a Strategy.
+	ParseStrategy = dstream.ParseStrategy
+
+	// WithStrategy selects the collective data path.
+	WithStrategy = dstream.WithStrategy
+	// WithAsync makes output writes write-behind.
+	WithAsync = dstream.WithAsync
+	// WithAppend adds records to an existing d/stream file.
+	WithAppend = dstream.WithAppend
+	// WithStrict enforces full extraction on input streams.
+	WithStrict = dstream.WithStrict
+	// WithFunnelThreshold overrides the Auto funnel cutoff.
+	WithFunnelThreshold = dstream.WithFunnelThreshold
+	// WithAggregators overrides the two-phase aggregator count.
+	WithAggregators = dstream.WithAggregators
+	// WithStreamOptions merges a pre-built StreamOptions value.
+	WithStreamOptions = dstream.WithOptions
+
 	// Output opens an output d/stream: oStream s(&d, &a, "file").
+	//
+	// Deprecated: use Open.
 	Output = dstream.Output
 	// OutputOpts opens an output d/stream with explicit options.
+	//
+	// Deprecated: use Open with functional options.
 	OutputOpts = dstream.OutputOpts
 	// Input opens an input d/stream: iStream s(&d, &a, "file").
+	//
+	// Deprecated: use OpenInput.
 	Input = dstream.Input
 
 	// ErrClosed reports use of a closed stream.
@@ -216,6 +266,41 @@ var (
 	ErrNotAligned = dstream.ErrNotAligned
 	// ErrOrder reports a primitive called out of Figure 2's legal order.
 	ErrOrder = dstream.ErrOrder
+	// ErrIO wraps a flush or refill that failed in the layers below.
+	ErrIO = dstream.ErrIO
+)
+
+// --- Parallel file system (the simulated Paragon PFS) ---
+
+type (
+	// FileSystem is the simulated parallel file system (Config.FS).
+	FileSystem = pfs.FileSystem
+	// BackendFactory creates the storage backend behind each file.
+	BackendFactory = pfs.BackendFactory
+	// FileLayout is the stripe geometry of the storage behind one file;
+	// the two-phase strategy derives its aggregator plan from it.
+	FileLayout = pfs.Layout
+	// IOStats is a run's per-operation I/O account (Result.IO).
+	IOStats = pfs.IOStats
+)
+
+// DefaultStripeUnit is the stripe cell size assumed for backends that do
+// not expose their geometry.
+const DefaultStripeUnit = pfs.DefaultStripeUnit
+
+// File-system constructors.
+var (
+	// NewMemFS creates an in-memory file system with the profile's cost model.
+	NewMemFS = pfs.NewMemFS
+	// NewFileSystem creates a file system over a custom backend factory.
+	NewFileSystem = pfs.NewFileSystem
+	// MemFactory backs each file with one in-memory image.
+	MemFactory = pfs.MemFactory
+	// OSFactory backs each file with a real file under the given directory.
+	OSFactory = pfs.OSFactory
+	// StripedMemFactory stripes each file over k in-memory devices — the
+	// geometry the two-phase strategy aggregates against.
+	StripedMemFactory = pfs.StripedMemFactory
 )
 
 // Insert inserts an entire collection: s << g.
