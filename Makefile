@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase chaos-twophase
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase chaos-twophase bench-alloc alloc-check race-pooldebug
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,22 @@ bench:
 # BENCH_twophase.json and fails if two-phase never beats both classic paths.
 bench-twophase:
 	$(GO) run ./cmd/dstream-bench -twophase -twophase-json BENCH_twophase.json
+
+# The allocation benchmark: real allocs/op on the pooled hot paths, emitted
+# as BENCH_alloc.json. `make alloc-check` re-measures and fails on a >10%
+# regression against the committed BENCH_alloc_baseline.json — the CI gate
+# that keeps the hot paths allocation-free.
+bench-alloc:
+	$(GO) run ./cmd/dstream-bench -alloc -alloc-json BENCH_alloc.json
+
+alloc-check:
+	$(GO) run ./cmd/dstream-bench -alloc -alloc-check BENCH_alloc_baseline.json
+
+# The race suite again with pooldebug poisoning on the pool-heavy packages:
+# a retained alias written after Put panics at the next Get instead of
+# corrupting a record silently.
+race-pooldebug:
+	$(GO) test -race -tags pooldebug ./internal/bufpool/ ./internal/comm/ ./internal/collective/ ./internal/pfs/ ./internal/dstream/ ./internal/chaos/
 
 # Regenerate the public API surface golden after an intentional API change.
 # `make check` diffs the façade against testdata/api_surface.golden.

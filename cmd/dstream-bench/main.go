@@ -40,12 +40,50 @@ func main() {
 		scaling    = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
 		verify     = flag.Bool("verify", false, "verify data integrity after every input phase")
 		check      = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
+		alloc      = flag.Bool("alloc", false, "measure real allocs/op on the pooled hot paths")
+		allocJS    = flag.String("alloc-json", "", "write the allocation table (JSON) to this file ('-' for stdout)")
+		allocCheck = flag.String("alloc-check", "", "diff a fresh allocation table against this baseline JSON; fail on >10% regression")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
-		!*twophase && *twophaseJS == "" &&
+		!*twophase && *twophaseJS == "" && !*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
+	}
+
+	if *alloc || *allocJS != "" || *allocCheck != "" {
+		cells, err := bench.AllocTable()
+		if err != nil {
+			fatal(err)
+		}
+		if *alloc {
+			bench.WriteAllocTable(os.Stdout, cells)
+			fmt.Println()
+		}
+		if *allocJS != "" {
+			out := os.Stdout
+			if *allocJS != "-" {
+				f, err := os.Create(*allocJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := bench.WriteAllocJSON(out, cells); err != nil {
+				fatal(err)
+			}
+		}
+		if *allocCheck != "" {
+			baseline, err := bench.ReadAllocJSON(*allocCheck)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.CheckAllocRegression(cells, baseline); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dstream-bench: allocation table within 10%% of %s\n", *allocCheck)
+		}
 	}
 
 	strat, err := pcxx.ParseStrategy(*strategy)

@@ -1,0 +1,274 @@
+package bench
+
+// The allocation benchmark: steady-state allocations per operation on the
+// four hot paths the buffer-pool layer exists for — the enc round trip, the
+// in-process message path, and the funnel and two-phase record flushes.
+// Unlike the virtual-time tables, these numbers measure the *real* machine:
+// the Go allocator traffic per operation, the quantity that turns into GC
+// pressure when a d/stream program scales up. `dstream-bench -alloc` prints
+// the table, `-alloc-json` emits it for CI, and `-alloc-check` diffs a fresh
+// measurement against the committed BENCH_alloc_baseline.json, failing on
+// >10% regression — the gate that keeps the hot path allocation-free.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"pcxxstreams/internal/bufpool"
+	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/vtime"
+)
+
+// AllocCell is one row of the allocation table.
+type AllocCell struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// AllocTable measures every allocation benchmark and returns the table.
+func AllocTable() ([]AllocCell, error) {
+	cells := []AllocCell{
+		benchToCell("enc_roundtrip", benchEncRoundTrip),
+		benchToCell("comm_inproc_sendrecv", benchInprocSendRecv),
+	}
+	funnel, err := machineCycleAllocs(dstream.StrategyFunnel)
+	if err != nil {
+		return nil, fmt.Errorf("bench: funnel alloc cycle: %w", err)
+	}
+	cells = append(cells, funnel)
+	twophase, err := machineCycleAllocs(dstream.StrategyTwoPhase)
+	if err != nil {
+		return nil, fmt.Errorf("bench: two-phase alloc cycle: %w", err)
+	}
+	return append(cells, twophase), nil
+}
+
+func benchToCell(name string, f func(b *testing.B)) AllocCell {
+	r := testing.Benchmark(f)
+	return AllocCell{
+		Name:        name,
+		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+		BytesPerOp:  float64(r.MemBytes) / float64(r.N),
+	}
+}
+
+// benchEncRoundTrip is the steady-state typed encode/decode round trip: a
+// reused enc.Buffer filled with a mixed-type element payload, decoded back
+// with a reused enc.Reader.
+func benchEncRoundTrip(b *testing.B) {
+	var e enc.Buffer
+	var d enc.Reader
+	raw := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Uint32(uint32(i))
+		e.Int64(int64(i) * 3)
+		e.Float64(float64(i) * 0.5)
+		e.Bool(i&1 == 0)
+		e.Raw(raw)
+		d.Reset(e.Bytes())
+		_ = d.Uint32()
+		_ = d.Int64()
+		_ = d.Float64()
+		_ = d.Bool()
+		_ = d.Raw(32)
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+// benchInprocSendRecv is one 1 KiB message over the in-process transport:
+// Endpoint.Send on rank 0, Endpoint.Recv on rank 1, receiver releasing the
+// payload back to the pool — the per-message steady state of every
+// collective operation and every funnel gather.
+func benchInprocSendRecv(b *testing.B) {
+	tr := comm.NewChanTransport(2)
+	defer tr.Close()
+	var c0, c1 vtime.Clock
+	prof := vtime.Paragon()
+	ep0 := comm.NewEndpoint(0, 2, tr, &c0, prof)
+	ep1 := comm.NewEndpoint(1, 2, tr, &c1, prof)
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep0.Send(1, 42, payload); err != nil {
+			b.Fatal(err)
+		}
+		d, err := ep1.Recv(0, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(d)
+	}
+}
+
+// allocCycleParams shapes the machine-level cycles: a 4-node machine, 64
+// cyclic elements of 64 payload bytes, one insert per write.
+const (
+	allocNProcs   = 4
+	allocElems    = 64
+	allocElemSize = 64
+	allocWarmup   = 8
+	allocCycles   = 64
+)
+
+// machineCycleAllocs runs a 4-node machine performing steady-state
+// insert+write cycles under the given strategy and returns the whole-machine
+// allocations per cycle. The Go heap counters are global, so the cycle cost
+// includes all four ranks' work — the number a training loop would feel.
+func machineCycleAllocs(strat dstream.Strategy) (AllocCell, error) {
+	name := "dstream_funnel_write"
+	if strat == dstream.StrategyTwoPhase {
+		name = "dstream_twophase_write"
+	}
+	var allocs, bytes float64
+	fs := pfs.NewFileSystem(vtime.Paragon(), pfs.StripedMemFactory(allocNProcs, 1<<14))
+	_, err := machine.Run(machine.Config{
+		NProcs:  allocNProcs,
+		Profile: vtime.Paragon(),
+		FS:      fs,
+	}, func(n *machine.Node) error {
+		d, err := distr.New(allocElems, allocNProcs, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		s, err := dstream.Open(n, d, "alloc-bench", dstream.WithStrategy(strat))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		payload := make([]byte, allocElemSize)
+		cycle := func() error {
+			if err := s.InsertFunc(func(l int, e *dstream.Encoder) { e.Raw(payload) }); err != nil {
+				return err
+			}
+			return s.Write()
+		}
+		for i := 0; i < allocWarmup; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		// Quiesce: all ranks idle while rank 0 snapshots the heap counters.
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		var before runtime.MemStats
+		var gcPct int
+		if n.Rank() == 0 {
+			gcPct = debug.SetGCPercent(-1) // no GC inside the window
+			runtime.ReadMemStats(&before)
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < allocCycles; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		if n.Rank() == 0 {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			debug.SetGCPercent(gcPct)
+			allocs = float64(after.Mallocs-before.Mallocs) / allocCycles
+			bytes = float64(after.TotalAlloc-before.TotalAlloc) / allocCycles
+		}
+		return nil
+	})
+	if err != nil {
+		return AllocCell{}, err
+	}
+	return AllocCell{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes}, nil
+}
+
+// WriteAllocTable prints the table human-readably.
+func WriteAllocTable(w io.Writer, cells []AllocCell) {
+	fmt.Fprintf(w, "%-28s %14s %14s\n", "benchmark", "allocs/op", "B/op")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-28s %14.1f %14.1f\n", c.Name, c.AllocsPerOp, c.BytesPerOp)
+	}
+}
+
+// WriteAllocJSON emits the table as JSON (the BENCH_alloc.json artifact).
+func WriteAllocJSON(w io.Writer, cells []AllocCell) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(cells)
+}
+
+// ReadAllocJSON loads a table emitted by WriteAllocJSON.
+func ReadAllocJSON(path string) ([]AllocCell, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cells []AllocCell
+	if err := json.Unmarshal(b, &cells); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return cells, nil
+}
+
+// CheckAllocRegression compares fresh cells against a baseline, failing on a
+// >10% allocs/op or B/op regression (with one alloc / 64 bytes of absolute
+// slack, so a zero baseline does not make every change a failure).
+func CheckAllocRegression(fresh, baseline []AllocCell) error {
+	base := make(map[string]AllocCell, len(baseline))
+	for _, c := range baseline {
+		base[c.Name] = c
+	}
+	var bad []string
+	for _, c := range fresh {
+		b, ok := base[c.Name]
+		if !ok {
+			continue // a new benchmark has no baseline yet
+		}
+		if limit := maxF(b.AllocsPerOp*1.10, b.AllocsPerOp+1); c.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.1f exceeds baseline %.1f (+10%%)", c.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+		if limit := maxF(b.BytesPerOp*1.10, b.BytesPerOp+64); c.BytesPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: B/op %.1f exceeds baseline %.1f (+10%%)", c.Name, c.BytesPerOp, b.BytesPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: allocation regression:\n  %s", joinLines(bad))
+	}
+	return nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func joinLines(s []string) string {
+	out := ""
+	for i, l := range s {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

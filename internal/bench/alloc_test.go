@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"testing"
+
+	"pcxxstreams/internal/bufpool"
+	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/vtime"
+)
+
+// The allocation pins: exact committed budgets for the four hot paths,
+// enforced on every test run (not just when the bench-alloc gate diffs
+// BENCH_alloc_baseline.json). The budgets are the measured steady state
+// with the buffer pool in place, plus scheduler headroom for the
+// machine-level cycles; before pooling they sat at 4 (enc), 3 (sendrecv),
+// ~139 (funnel cycle) and ~210 (two-phase cycle). Raising a budget is a
+// deliberate act — it means a hot path got slower for every caller.
+const (
+	encRoundTripBudget    = 0   // allocs/op, reused Buffer+Reader
+	inprocSendRecvBudget  = 1   // allocs/op, 1 KiB payload, receiver Puts
+	funnelCycleBudget     = 40  // whole-machine allocs per insert+write cycle, 4 ranks
+	twoPhaseCycleBudget   = 110 // same, with the aggregation shuffle
+	funnelCycleByteBudget = 20 << 10
+)
+
+func TestEncRoundTripAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	var e enc.Buffer
+	var d enc.Reader
+	raw := make([]byte, 32)
+	avg := testing.AllocsPerRun(500, func() {
+		e.Reset()
+		e.Uint32(7)
+		e.Int64(21)
+		e.Float64(3.5)
+		e.Bool(true)
+		e.Raw(raw)
+		d.Reset(e.Bytes())
+		_ = d.Uint32()
+		_ = d.Int64()
+		_ = d.Float64()
+		_ = d.Bool()
+		_ = d.Raw(32)
+		if d.Err() != nil {
+			t.Fatal(d.Err())
+		}
+	})
+	if avg > encRoundTripBudget {
+		t.Errorf("enc round trip: %.2f allocs/op, budget %d", avg, encRoundTripBudget)
+	}
+}
+
+func TestInprocSendRecvAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	tr := comm.NewChanTransport(2)
+	defer tr.Close()
+	var c0, c1 vtime.Clock
+	prof := vtime.Paragon()
+	ep0 := comm.NewEndpoint(0, 2, tr, &c0, prof)
+	ep1 := comm.NewEndpoint(1, 2, tr, &c1, prof)
+	payload := make([]byte, 1024)
+	// Prime the pool and the mailbox path before pinning.
+	for i := 0; i < 8; i++ {
+		if err := ep0.Send(1, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ep1.Recv(0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(d)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := ep0.Send(1, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ep1.Recv(0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(d)
+	})
+	if avg > inprocSendRecvBudget {
+		t.Errorf("in-proc send/recv: %.2f allocs/op, budget %d", avg, inprocSendRecvBudget)
+	}
+}
+
+func TestFunnelWriteCycleAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	if testing.Short() {
+		t.Skip("machine-level pin skipped in -short mode")
+	}
+	cell, err := machineCycleAllocs(dstream.StrategyFunnel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("funnel cycle: %.1f allocs, %.1f B", cell.AllocsPerOp, cell.BytesPerOp)
+	if cell.AllocsPerOp > funnelCycleBudget {
+		t.Errorf("funnel insert+write cycle: %.1f allocs, budget %d", cell.AllocsPerOp, funnelCycleBudget)
+	}
+	if cell.BytesPerOp > funnelCycleByteBudget {
+		t.Errorf("funnel insert+write cycle: %.1f B, budget %d", cell.BytesPerOp, funnelCycleByteBudget)
+	}
+}
+
+func TestTwoPhaseWriteCycleAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	if testing.Short() {
+		t.Skip("machine-level pin skipped in -short mode")
+	}
+	cell, err := machineCycleAllocs(dstream.StrategyTwoPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("two-phase cycle: %.1f allocs, %.1f B", cell.AllocsPerOp, cell.BytesPerOp)
+	if cell.AllocsPerOp > twoPhaseCycleBudget {
+		t.Errorf("two-phase insert+write cycle: %.1f allocs, budget %d", cell.AllocsPerOp, twoPhaseCycleBudget)
+	}
+}
+
+// TestCheckAllocRegression exercises the CI gate logic itself.
+func TestCheckAllocRegression(t *testing.T) {
+	base := []AllocCell{{Name: "x", AllocsPerOp: 10, BytesPerOp: 1000}}
+	if err := CheckAllocRegression([]AllocCell{{Name: "x", AllocsPerOp: 10.5, BytesPerOp: 1050}}, base); err != nil {
+		t.Errorf("within 10%%: %v", err)
+	}
+	if err := CheckAllocRegression([]AllocCell{{Name: "x", AllocsPerOp: 12, BytesPerOp: 1000}}, base); err == nil {
+		t.Error("20% allocs regression passed the gate")
+	}
+	if err := CheckAllocRegression([]AllocCell{{Name: "x", AllocsPerOp: 10, BytesPerOp: 1200}}, base); err == nil {
+		t.Error("20% bytes regression passed the gate")
+	}
+	// Zero baselines get absolute slack so noise does not hard-fail.
+	zero := []AllocCell{{Name: "z"}}
+	if err := CheckAllocRegression([]AllocCell{{Name: "z", AllocsPerOp: 0.5, BytesPerOp: 32}}, zero); err != nil {
+		t.Errorf("absolute slack on zero baseline: %v", err)
+	}
+	// A benchmark with no baseline entry is not a failure.
+	if err := CheckAllocRegression([]AllocCell{{Name: "new", AllocsPerOp: 99}}, base); err != nil {
+		t.Errorf("missing baseline treated as regression: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// pins stand down under -race: the instrumentation allocates, and sync.Pool
+// deliberately randomizes caching there.
+const raceEnabled = false

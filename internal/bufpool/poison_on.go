@@ -1,0 +1,30 @@
+//go:build pooldebug
+
+package bufpool
+
+import "fmt"
+
+// Debug reports whether the pooldebug poisoning checks are compiled in.
+const Debug = true
+
+// poisonByte fills every released buffer. 0xDB is unlikely as real payload
+// (the wire format's magic, lengths, and timestamps are little-endian small
+// integers), so a clean poison pattern at Get really does mean nobody wrote
+// through a stale alias.
+const poisonByte = 0xDB
+
+func poison(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+func checkPoison(b []byte) {
+	b = b[:cap(b)]
+	for i, v := range b {
+		if v != poisonByte {
+			panic(fmt.Sprintf("bufpool: use after Put: byte %d of a released %d-byte buffer was overwritten (0x%02x != 0x%02x); some caller retained an alias past Put", i, cap(b), v, poisonByte))
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bufpool
+
+// raceEnabled reports whether the race detector is compiled in; sync.Pool
+// deliberately randomizes caching under -race, so pool-hit assertions must
+// stand down there.
+const raceEnabled = false

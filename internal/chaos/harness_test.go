@@ -85,6 +85,22 @@ func TestChaosOracleTwoPhase(t *testing.T) {
 	}
 }
 
+// TestChaosOracleParallel completes the per-strategy coverage: the all-ranks
+// parallel append/read paths — now drawing every frame and refill buffer
+// from the shared pool — face the full seeded fault campaign. A pooling bug
+// that resurfaced a recycled buffer would show up here as a corruption
+// verdict (and, under -tags pooldebug, as a poison panic at the exact Get).
+func TestChaosOracleParallel(t *testing.T) {
+	rep, err := RunSeeds(Config{Strategy: dstream.StrategyParallel}, *chaosSeed, *chaosN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+	if rep.OK == 0 {
+		t.Error("no parallel-strategy seed completed successfully — default rates should mostly be survivable")
+	}
+}
+
 // TestReferenceStrategyIdentity: the fault-free pipeline writes the same
 // bytes whichever strategy moves them — funnel, parallel, and two-phase are
 // rank-to-block assignments, not formats. This pins the cross-strategy

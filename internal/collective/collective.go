@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/comm"
 	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
@@ -53,6 +54,11 @@ type Comm struct {
 	// only by the owning node's goroutine.
 	mon *dsmon.Monitor
 	ops map[string]opMetrics
+
+	// tbuf is the scratch frame for the 8-byte timestamp payloads every
+	// synchronizing operation sends. Transports copy payloads before Send
+	// returns, so one scratch per communicator suffices.
+	tbuf [8]byte
 }
 
 // opMetrics is the cached pair of handles for one collective operation.
@@ -111,10 +117,16 @@ func (c *Comm) next() uint64 {
 	return c.seq
 }
 
-func encodeTime(t float64) []byte {
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, math.Float64bits(t))
-	return b
+// timeFrame encodes t into the communicator's scratch frame. The result is
+// valid only until the next timeFrame call — pass it straight to Send.
+func (c *Comm) timeFrame(t float64) []byte {
+	binary.LittleEndian.PutUint64(c.tbuf[:], math.Float64bits(t))
+	return c.tbuf[:]
+}
+
+// appendTime appends t's 8-byte encoding to dst.
+func appendTime(dst []byte, t float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(t))
 }
 
 func decodeTime(b []byte) float64 {
@@ -164,7 +176,7 @@ func (c *Comm) Barrier() error {
 			}
 		}
 		rel := c.releaseTime(n-1, 8)
-		payload := encodeTime(rel)
+		payload := c.timeFrame(rel)
 		for r := 1; r < n; r++ {
 			if err := c.ep.Send(r, tag(kindBarrier, seq, 1), payload); err != nil {
 				return fmt.Errorf("collective: barrier release: %w", err)
@@ -181,6 +193,7 @@ func (c *Comm) Barrier() error {
 		return fmt.Errorf("collective: barrier release: %w", err)
 	}
 	c.ep.Clock().SyncTo(decodeTime(d))
+	bufpool.Put(d)
 	return nil
 }
 
@@ -200,17 +213,20 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 		return c.bcastTree(seq, root, data)
 	}
 	if c.Rank() == root {
-		// 8-byte equalization prefix + payload.
+		// 8-byte equalization prefix + payload, assembled in a pooled frame
+		// released once every copy is on the wire.
 		rel := c.releaseTime(n-1, 8+len(data))
-		payload := append(encodeTime(rel), data...)
+		payload := append(appendTime(bufpool.GetCap(8+len(data)), rel), data...)
 		for r := 0; r < n; r++ {
 			if r == root {
 				continue
 			}
 			if err := c.ep.Send(r, tag(kindBcast, seq, 0), payload); err != nil {
+				bufpool.Put(payload)
 				return nil, fmt.Errorf("collective: bcast send: %w", err)
 			}
 		}
+		bufpool.Put(payload)
 		c.ep.Clock().SyncTo(rel)
 		return data, nil
 	}
@@ -273,6 +289,11 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	var flat []byte
 	if c.Rank() == 0 {
 		flat = flatten(parts)
+		for r, p := range parts {
+			if r != 0 {
+				bufpool.Put(p) // gathered frames are fully copied into flat
+			}
+		}
 	}
 	flat, err = c.Bcast(0, flat)
 	if err != nil {
@@ -304,7 +325,7 @@ func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
 				return nil, fmt.Errorf("collective: scatterv send to %d: %w", r, err)
 			}
 		}
-		own := make([]byte, len(parts[root]))
+		own := bufpool.Get(len(parts[root]))
 		copy(own, parts[root])
 		return own, nil
 	}
@@ -355,10 +376,12 @@ func (c *Comm) sendVec(to int, seq uint64, data []byte) error {
 	if first > chunk {
 		first = chunk
 	}
-	frame := make([]byte, 4+first)
+	frame := bufpool.Get(4 + first)
 	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data[:first])
-	if err := c.ep.Send(to, tag(kindAlltoall, seq, 0), frame); err != nil {
+	err := c.ep.Send(to, tag(kindAlltoall, seq, 0), frame)
+	bufpool.Put(frame)
+	if err != nil {
 		return err
 	}
 	for sub, off := 1, first; off < len(data); sub++ {
@@ -393,18 +416,24 @@ func (c *Comm) recvVec(from int, seq uint64) ([]byte, error) {
 		return nil, fmt.Errorf("collective: alltoallv first chunk overruns total (%d > %d)", len(out), total)
 	}
 	if len(out) < total {
-		buf := make([]byte, len(out), total)
-		copy(buf, out)
+		// Reassemble into one pooled buffer, releasing the header frame and
+		// each consumed chunk as soon as its bytes are copied out.
+		buf := append(bufpool.GetCap(total), out...)
+		bufpool.Put(d)
 		out = buf
 		for sub := 1; len(out) < total; sub++ {
 			d, err := c.ep.Recv(from, tag(kindAlltoall, seq, sub))
 			if err != nil {
+				bufpool.Put(out)
 				return nil, err
 			}
 			if len(out)+len(d) > total {
+				bufpool.Put(d)
+				bufpool.Put(out)
 				return nil, fmt.Errorf("collective: alltoallv chunk %d overruns total", sub)
 			}
 			out = append(out, d...)
+			bufpool.Put(d)
 		}
 	}
 	return out, nil
@@ -432,8 +461,9 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 		}
 	}
 	out := make([][]byte, n)
-	// Receive own contribution by copy, matching wire semantics.
-	own := make([]byte, len(bufs[me]))
+	// Receive own contribution by copy, matching wire semantics. Every out
+	// entry is owned by the caller, which may bufpool.Put it once consumed.
+	own := bufpool.Get(len(bufs[me]))
 	copy(own, bufs[me])
 	out[me] = own
 	for r := 0; r < n; r++ {
@@ -489,7 +519,7 @@ func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
 		return c.reduceTree(seq, root, v, op)
 	}
 	if c.Rank() != root {
-		if err := c.ep.Send(root, tag(kindReduce, seq, 0), encodeTime(v)); err != nil {
+		if err := c.ep.Send(root, tag(kindReduce, seq, 0), c.timeFrame(v)); err != nil {
 			return 0, fmt.Errorf("collective: reduce send: %w", err)
 		}
 		return 0, nil
@@ -504,6 +534,7 @@ func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
 			return 0, fmt.Errorf("collective: reduce recv from %d: %w", r, err)
 		}
 		acc = op.apply(acc, decodeTime(d))
+		bufpool.Put(d)
 	}
 	return acc, nil
 }
@@ -518,7 +549,7 @@ func (c *Comm) Allreduce(v float64, op ReduceOp) (float64, error) {
 	}
 	var payload []byte
 	if c.Rank() == 0 {
-		payload = encodeTime(acc)
+		payload = c.timeFrame(acc)
 	}
 	payload, err = c.Bcast(0, payload)
 	if err != nil {

@@ -3,6 +3,8 @@ package collective
 import (
 	"fmt"
 	"math/bits"
+
+	"pcxxstreams/internal/bufpool"
 )
 
 // Algorithm selects how the collectives are realized on the wire.
@@ -89,7 +91,7 @@ func (c *Comm) reduceTree(seq uint64, root int, val float64, op ReduceOp) (float
 		if v&mask != 0 {
 			// Send partial up and leave.
 			parent := prank(v&^mask, root, n)
-			if err := c.ep.Send(parent, tag(kindReduce, seq, bitIndex(mask)), encodeTime(acc)); err != nil {
+			if err := c.ep.Send(parent, tag(kindReduce, seq, bitIndex(mask)), c.timeFrame(acc)); err != nil {
 				return 0, fmt.Errorf("collective: tree reduce send: %w", err)
 			}
 			return 0, nil
@@ -101,6 +103,7 @@ func (c *Comm) reduceTree(seq uint64, root int, val float64, op ReduceOp) (float
 				return 0, fmt.Errorf("collective: tree reduce recv: %w", err)
 			}
 			acc = op.apply(acc, decodeTime(d))
+			bufpool.Put(d)
 		}
 	}
 	return acc, nil
@@ -113,14 +116,16 @@ func (c *Comm) allgatherRD(seq uint64, mine []byte) ([][]byte, error) {
 	n := c.Size()
 	me := c.Rank()
 	have := make([][]byte, n)
-	ownCopy := make([]byte, len(mine))
+	ownCopy := bufpool.Get(len(mine))
 	copy(ownCopy, mine)
 	have[me] = ownCopy
 
+	// One pack buffer serves every round; the transport copies it on Send.
+	var pack Buffer2
 	for k, mask := 0, 1; mask < n; k, mask = k+1, mask<<1 {
 		partner := me ^ mask
 		// Pack every block currently held: (u32 rank, u32 len, bytes)*.
-		var pack Buffer2
+		pack.b = pack.b[:0]
 		for r, b := range have {
 			if b == nil {
 				continue
@@ -146,11 +151,12 @@ func (c *Comm) allgatherRD(seq uint64, mine []byte) ([][]byte, error) {
 			if r < 0 || r >= n || off+l > len(d) {
 				return nil, fmt.Errorf("collective: rd allgather frame corrupt")
 			}
-			blk := make([]byte, l)
+			blk := bufpool.Get(l)
 			copy(blk, d[off:off+l])
 			have[r] = blk
 			off += l
 		}
+		bufpool.Put(d)
 	}
 	for r, b := range have {
 		if b == nil {

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/vtime"
 )
@@ -147,11 +148,13 @@ func (mb *mailbox) put(m Message) error {
 	if m.Seq != 0 {
 		k := streamID{m.From, m.Tag}
 		if m.Seq < mb.nextSeq(k) {
-			return nil // duplicate of an already-delivered message
+			bufpool.Put(m.Data) // duplicate of an already-delivered message
+			return nil
 		}
 		for _, q := range mb.queue {
 			if q.From == m.From && q.Tag == m.Tag && q.Seq == m.Seq {
-				return nil // duplicate of an already-queued message
+				bufpool.Put(m.Data) // duplicate of an already-queued message
+				return nil
 			}
 		}
 	}
@@ -209,6 +212,11 @@ func (mb *mailbox) getWithin(from int, tag uint64, timeout time.Duration) (Messa
 func (mb *mailbox) close() {
 	mb.mu.Lock()
 	mb.closed = true
+	// Undelivered payloads are now unowned: no receiver will ever match them.
+	for _, m := range mb.queue {
+		bufpool.Put(m.Data)
+	}
+	mb.queue = nil
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 }
@@ -232,14 +240,19 @@ func (t *ChanTransport) Send(m Message) error {
 	if m.To < 0 || m.To >= len(t.boxes) {
 		return fmt.Errorf("comm: send to invalid rank %d (size %d)", m.To, len(t.boxes))
 	}
-	// Copy the payload: senders are free to reuse their buffers, exactly as
-	// with a real wire transport.
+	// Copy the payload into a pooled buffer: senders are free to reuse their
+	// buffers the moment Send returns, exactly as with a real wire transport,
+	// and the receiver owns (and may bufpool.Put) the delivered copy.
 	if m.Data != nil {
-		d := make([]byte, len(m.Data))
+		d := bufpool.Get(len(m.Data))
 		copy(d, m.Data)
 		m.Data = d
 	}
-	return t.boxes[m.To].put(m)
+	if err := t.boxes[m.To].put(m); err != nil {
+		bufpool.Put(m.Data)
+		return err
+	}
+	return nil
 }
 
 // Recv implements Transport.
@@ -429,6 +442,11 @@ func (e *Endpoint) recvOnce(from int, tag uint64) (Message, error) {
 // message's arrival time: send time + latency + transfer time. Transient
 // faults (injected receive errors, deadline expiries) are retried with
 // exponential virtual-time backoff before a clean error is surfaced.
+//
+// The returned payload is owned by the caller: it never aliases the sender's
+// buffer, may be retained indefinitely, and may be released with bufpool.Put
+// once fully consumed (releasing is optional — the GC reclaims it either
+// way).
 func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
 	start := e.clock.Now()
 	var m Message

@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pcxxstreams/internal/bufpool"
+	"pcxxstreams/internal/vtime"
+)
+
+// TestRecvSurvivesSenderRecycle pins the transport ownership contract: Send
+// copies the payload before returning, so a sender may Put its buffer back
+// to the pool — and even watch the pool recycle it into a new, overwritten
+// message — without the in-flight payload changing under the receiver.
+func TestRecvSurvivesSenderRecycle(t *testing.T) {
+	eachTransport(t, 2, func(t *testing.T, tr Transport) {
+		const rounds = 32
+		wants := make([][]byte, rounds)
+		for i := 0; i < rounds; i++ {
+			buf := bufpool.Get(512)
+			for j := range buf {
+				buf[j] = byte(i)
+			}
+			wants[i] = bytes.Clone(buf)
+			if err := tr.Send(Message{From: 0, To: 1, Tag: 5, Seq: uint64(i + 1), Data: buf}); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+			// Sender recycles immediately: scribble, release, and let the
+			// next round's Get likely hand the same bytes back.
+			for j := range buf {
+				buf[j] = 0xEE
+			}
+			bufpool.Put(buf)
+		}
+		for i := 0; i < rounds; i++ {
+			m, err := tr.Recv(1, 0, 5)
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if !bytes.Equal(m.Data, wants[i]) {
+				t.Fatalf("message %d corrupted by sender recycle: got %x... want %x...", i, m.Data[:4], wants[i][:4])
+			}
+			// Receiver owns the payload; returning it is part of the contract
+			// under test — the next messages must still arrive intact.
+			bufpool.Put(m.Data)
+		}
+	})
+}
+
+// TestEndpointRecvPayloadOwnership is the same contract one layer up: the
+// sequenced Endpoint's Recv hands the caller a payload that stays intact
+// while the sender's buffer lives on, and that the caller may release.
+func TestEndpointRecvPayloadOwnership(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	var c0, c1 vtime.Clock
+	prof := vtime.Paragon()
+	snd := NewEndpoint(0, 2, tr, &c0, prof)
+	rcv := NewEndpoint(1, 2, tr, &c1, prof).SetRecvDeadline(5 * time.Second)
+
+	buf := bufpool.Get(1024)
+	for j := range buf {
+		buf[j] = 0xAB
+	}
+	want := bytes.Clone(buf)
+	if err := snd.Send(1, 9, buf); err != nil {
+		t.Fatal(err)
+	}
+	for j := range buf {
+		buf[j] = 0 // sender reuses its buffer the instant Send returns
+	}
+	bufpool.Put(buf)
+
+	got, err := rcv.Recv(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("endpoint payload aliased the sender's recycled buffer")
+	}
+	bufpool.Put(got)
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/dsmon"
 )
 
@@ -54,6 +55,7 @@ type tcpConn struct {
 	c      net.Conn
 	w      *bufio.Writer
 	broken bool // a mid-frame write failed; the byte stream is torn
+	hdr    [frameHeaderLen]byte // frame-header scratch, guarded by mu
 }
 
 // frame layout: u32 payloadLen | u32 from | u32 to | u64 tag | u64 seq | u64 timeBits | payload
@@ -130,15 +132,18 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			Time: math.Float64frombits(binary.LittleEndian.Uint64(hdr[28:36])),
 		}
 		if plen > 0 {
-			m.Data = make([]byte, plen)
+			m.Data = bufpool.Get(int(plen))
 			if _, err := io.ReadFull(r, m.Data); err != nil {
+				bufpool.Put(m.Data)
 				return
 			}
 		}
 		if m.To < 0 || m.To >= len(t.boxes) {
+			bufpool.Put(m.Data)
 			return // corrupt frame; drop the connection
 		}
 		if err := t.boxes[m.To].put(m); err != nil {
+			bufpool.Put(m.Data)
 			return
 		}
 	}
@@ -153,19 +158,18 @@ func (t *TCPTransport) Send(m Message) error {
 		return fmt.Errorf("comm: tcp send to invalid rank %d", m.To)
 	}
 	tc := t.conns[m.From]
-	hdr := make([]byte, frameHeaderLen)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.broken {
+		return fmt.Errorf("comm: tcp send from %d: connection broken by earlier mid-frame failure", m.From)
+	}
+	hdr := tc.hdr[:]
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Data)))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(m.From)))
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(m.To)))
 	binary.LittleEndian.PutUint64(hdr[12:20], m.Tag)
 	binary.LittleEndian.PutUint64(hdr[20:28], m.Seq)
 	binary.LittleEndian.PutUint64(hdr[28:36], math.Float64bits(m.Time))
-
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if tc.broken {
-		return fmt.Errorf("comm: tcp send from %d: connection broken by earlier mid-frame failure", m.From)
-	}
 	if t.ioTimeout > 0 {
 		tc.c.SetWriteDeadline(time.Now().Add(t.ioTimeout))
 		defer tc.c.SetWriteDeadline(time.Time{})

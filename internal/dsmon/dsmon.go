@@ -175,10 +175,26 @@ var (
 // stream's flush histogram aggregates into a single family. All methods
 // are safe for concurrent use; a nil *Registry returns nil handles.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func()
+}
+
+// AddCollector registers a hook that runs at the start of every gather —
+// before WritePrometheus, WriteJSON, or Snapshot reads the metrics. It is
+// the place to refresh gauges whose source of truth lives elsewhere (e.g.
+// the buffer-pool statistics, which are process-global atomics rather than
+// per-event instrument calls). Collectors run outside the registry lock and
+// may therefore create or set metrics.
+func (r *Registry) AddCollector(f func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
 }
 
 // NewRegistry creates an empty registry.

@@ -25,6 +25,12 @@ func (r *Registry) gather() []sample {
 		return nil
 	}
 	r.mu.Lock()
+	cols := r.collectors
+	r.mu.Unlock()
+	for _, f := range cols {
+		f()
+	}
+	r.mu.Lock()
 	out := make([]sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for _, c := range r.counters {
 		out = append(out, sample{d: c.d, kind: "counter", c: c})

@@ -3,6 +3,7 @@ package dstream
 import (
 	"fmt"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
@@ -22,6 +23,13 @@ type IStream struct {
 	haveRec  bool
 	elemBufs []*Decoder // one per local element, in local order
 	extracts int
+
+	// Steady-state scratch, reused across records: refill holds the node's
+	// share of the current record's data section (element decoders alias it,
+	// so bytes extracted with Raw are invalidated by the next Read, Skip, or
+	// Close); hdrScratch is node 0's metadata read buffer.
+	refill     []byte
+	hdrScratch []byte
 }
 
 // Input opens an input d/stream for collections distributed by d, backed by
@@ -184,7 +192,15 @@ func (s *IStream) read(sorted bool) error {
 		chunk, err = s.refillTwoPhase(dataStart, offs, starts)
 	} else {
 		rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
-		chunk, err = s.f.ParallelRead(rg)
+		old := s.refill
+		chunk, err = s.f.ParallelReadInto(rg, old[:0])
+		if err == nil && rg.Len > 0 {
+			if cap(old) < rg.Len {
+				// Outgrown: the read came back in a fresh pooled buffer.
+				bufpool.Put(old)
+			}
+			s.refill = chunk
+		}
 	}
 	if err != nil {
 		return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
@@ -211,9 +227,17 @@ func (s *IStream) read(sorted bool) error {
 		}
 	}
 
-	s.elemBufs = make([]*Decoder, len(bufs))
-	for i, b := range bufs {
-		s.elemBufs[i] = enc.NewReader(b)
+	if len(s.elemBufs) == len(bufs) {
+		for i, b := range bufs {
+			s.elemBufs[i].Reset(b)
+		}
+	} else {
+		s.elemBufs = make([]*Decoder, len(bufs))
+		for i, b := range bufs {
+			d := new(Decoder)
+			d.Reset(b)
+			s.elemBufs[i] = d
+		}
 	}
 	s.hdr = h
 	s.haveRec = true
@@ -231,12 +255,18 @@ func (s *IStream) read(sorted bool) error {
 	return nil
 }
 
-// bcastBytes has node 0 read [off, off+n) and broadcast it.
+// bcastBytes has node 0 read [off, off+n) and broadcast it. The broadcast
+// frame is per-call (the caller may hold the result across the next
+// bcastBytes, e.g. the descriptor across the size-table read), but node 0's
+// read scratch is reused across records.
 func (s *IStream) bcastBytes(off int64, n int) ([]byte, error) {
 	var buf []byte
 	var readErr string
 	if s.node.Rank() == 0 {
-		buf = make([]byte, n)
+		if cap(s.hdrScratch) < n {
+			s.hdrScratch = make([]byte, n)
+		}
+		buf = s.hdrScratch[:n]
 		if n > 0 {
 			if err := s.f.ReadAt(buf, off); err != nil {
 				readErr = err.Error()
@@ -295,11 +325,13 @@ func (s *IStream) redistribute(globals []int, payloads [][]byte) ([][]byte, erro
 	if err != nil {
 		return nil, fmt.Errorf("dstream: redistribute: %w", err)
 	}
+	var d enc.Reader
 	for r, b := range recv {
 		if r == me {
-			continue // own elements were placed directly
+			bufpool.Put(b) // own elements were placed directly
+			continue
 		}
-		d := enc.NewReader(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			g := int(d.Uint32())
 			p := d.Bytes32()
@@ -311,6 +343,8 @@ func (s *IStream) redistribute(globals []int, payloads [][]byte) ([][]byte, erro
 			}
 			out[s.dist.LocalIndex(g)] = p
 		}
+		// Bytes32 copies each payload out, so the frame can go back.
+		bufpool.Put(b)
 	}
 	for l, b := range out {
 		if b == nil {
@@ -437,6 +471,9 @@ func (s *IStream) Close() error {
 	}
 	err := s.f.Close()
 	s.f = nil
+	bufpool.Put(s.refill)
+	s.refill = nil
+	s.elemBufs = nil
 	if err == nil && s.opts.Strict && s.haveRec && s.extracts < int(s.hdr.NArrays) {
 		err = fmt.Errorf("%w: close with %d of %d arrays unextracted (Strict)",
 			ErrOrder, int(s.hdr.NArrays)-s.extracts, s.hdr.NArrays)

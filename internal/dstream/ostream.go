@@ -3,6 +3,7 @@ package dstream
 import (
 	"fmt"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/enc"
@@ -27,6 +28,14 @@ type OStream struct {
 	// pending is the completion time of the latest asynchronous write; the
 	// clock must reach it before the stream's data is durable.
 	pending float64
+
+	// Steady-state scratch: the element encoder reused across inserts, the
+	// per-insert payload-slice arrays recycled between flushes (their pooled
+	// payloads are released at each Write), and the local size table reused
+	// across flushes.
+	encScratch  Encoder
+	arrFree     [][][]byte
+	sizeScratch []uint32
 }
 
 // Output opens an output d/stream for collections distributed by d, backed
@@ -126,13 +135,19 @@ func (s *OStream) InsertFunc(fill func(local int, e *Encoder)) error {
 		return err
 	}
 	n := s.LocalLen()
-	arr := make([][]byte, n)
-	var e Encoder
+	var arr [][]byte
+	if f := len(s.arrFree); f > 0 && cap(s.arrFree[f-1]) >= n {
+		arr = s.arrFree[f-1][:n]
+		s.arrFree = s.arrFree[:f-1]
+	} else {
+		arr = make([][]byte, n)
+	}
+	e := &s.encScratch
 	var arrBytes int64
 	for l := 0; l < n; l++ {
 		e.Reset()
-		fill(l, &e)
-		p := make([]byte, e.Len())
+		fill(l, e)
+		p := bufpool.Get(e.Len())
 		copy(p, e.Bytes())
 		arr[l] = p
 		arrBytes += int64(len(p))
@@ -163,7 +178,13 @@ func (s *OStream) Write() error {
 	nLocal := s.LocalLen()
 
 	// Per-element sizes (local order) with the group's arrays interleaved.
-	localSizes := make([]uint32, nLocal)
+	if cap(s.sizeScratch) < nLocal {
+		s.sizeScratch = make([]uint32, nLocal)
+	}
+	localSizes := s.sizeScratch[:nLocal]
+	for l := range localSizes {
+		localSizes[l] = 0
+	}
 	var localBytes int
 	for _, arr := range s.group {
 		for l, p := range arr {
@@ -172,31 +193,42 @@ func (s *OStream) Write() error {
 		}
 	}
 	// Pack the per-node data buffer: element-major, interleaving the
-	// group's arrays (Figure 4's pointer-list traversal).
-	data := make([]byte, 0, localBytes)
+	// group's arrays (Figure 4's pointer-list traversal). The pooled element
+	// payloads are released as soon as their bytes are packed; the emptied
+	// per-insert arrays are recycled for the next group.
+	data := bufpool.GetCap(localBytes)
 	for l := 0; l < nLocal; l++ {
 		for _, arr := range s.group {
 			data = append(data, arr[l]...)
 		}
 	}
+	for _, arr := range s.group {
+		for l, p := range arr {
+			bufpool.Put(p)
+			arr[l] = nil
+		}
+		s.arrFree = append(s.arrFree, arr)
+	}
 	s.node.CopyCost(int64(localBytes) + int64(4*nLocal))
-	s.group = nil
+	s.group = s.group[:0]
 	s.met.fill.Add(-float64(s.groupBytes))
 	s.groupBytes = 0
 
+	var werr error
 	switch s.opts.strategy(s.dist.N) {
 	case StrategyFunnel:
-		if err := s.writeFunnel(nArrays, localSizes, data); err != nil {
-			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
-		}
+		werr = s.writeFunnel(nArrays, localSizes, data)
 	case StrategyTwoPhase:
-		if err := s.writeTwoPhase(nArrays, localSizes, data); err != nil {
-			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
-		}
+		werr = s.writeTwoPhase(nArrays, localSizes, data)
 	default:
-		if err := s.writeParallel(nArrays, localSizes, data); err != nil {
-			return s.fail(fmt.Errorf("%w: %w", ErrIO, err))
-		}
+		werr = s.writeParallel(nArrays, localSizes, data)
+	}
+	// Every strategy's bytes are on the wire or in the file by the time it
+	// returns (parallel appends complete inside the rendezvous, transports
+	// copy on send), so the packed buffer can be released even on failure.
+	bufpool.Put(data)
+	if werr != nil {
+		return s.fail(fmt.Errorf("%w: %w", ErrIO, werr))
 	}
 	s.wrote++
 	end := s.node.Clock().Now()
@@ -214,35 +246,45 @@ func (s *OStream) Write() error {
 // written with the actual data").
 func (s *OStream) writeFunnel(nArrays int, localSizes []uint32, data []byte) error {
 	comm := s.node.Comm()
-	parts, err := comm.Gather(0, enc.EncodeSizeTable(localSizes))
+	st := enc.AppendSizeTable(bufpool.GetCap(4*len(localSizes)), localSizes)
+	parts, err := comm.Gather(0, st)
 	if err != nil {
+		bufpool.Put(st)
 		return fmt.Errorf("dstream: gather sizes: %w", err)
 	}
-	var block []byte
-	if s.node.Rank() == 0 {
-		var allSizes []byte
-		for _, p := range parts {
-			allSizes = append(allSizes, p...)
-		}
-		sizes, derr := enc.DecodeSizeTable(allSizes, s.dist.N)
-		if derr != nil {
-			return fmt.Errorf("dstream: reassemble size table: %w", derr)
-		}
-		var total uint64
-		for _, sz := range sizes {
-			total += uint64(sz)
-		}
-		h, desc := headerFor(s.dist, nArrays, total)
-		block = append(h.Encode(), desc...)
-		block = append(block, allSizes...)
-		block = append(block, data...)
-	} else {
-		block = data
+	if s.node.Rank() != 0 {
+		// The transport copied st on send; the non-root block is just data,
+		// which Write releases.
+		bufpool.Put(st)
+		return s.appendRecordBlock(data, "funnel append")
 	}
-	if err := s.appendRecordBlock(block, "funnel append"); err != nil {
-		return err
+	allSizes := bufpool.GetCap(4 * s.dist.N)
+	for _, p := range parts {
+		allSizes = append(allSizes, p...)
 	}
-	return nil
+	// parts[0] aliases st (Gather returns the root's own contribution
+	// as-is); the rest arrived from the wire and are ours to release.
+	for r, p := range parts {
+		if r != 0 {
+			bufpool.Put(p)
+		}
+	}
+	bufpool.Put(st)
+	total, derr := enc.SumSizeTable(allSizes, s.dist.N)
+	if derr != nil {
+		bufpool.Put(allSizes)
+		return fmt.Errorf("dstream: reassemble size table: %w", derr)
+	}
+	h, desc := headerFor(s.dist, nArrays, total)
+	block := bufpool.GetCap(enc.RecordHeaderLen + len(desc) + len(allSizes) + len(data))
+	block = h.AppendTo(block)
+	block = append(block, desc...)
+	block = append(block, allSizes...)
+	block = append(block, data...)
+	bufpool.Put(allSizes)
+	err = s.appendRecordBlock(block, "funnel append")
+	bufpool.Put(block)
+	return err
 }
 
 // appendRecordBlock moves one per-node block to the file, synchronously or
@@ -290,12 +332,19 @@ func (s *OStream) writeParallel(nArrays int, localSizes []uint32, data []byte) e
 	if err != nil {
 		return fmt.Errorf("dstream: sum data bytes: %w", err)
 	}
-	meta := enc.EncodeSizeTable(localSizes)
+	var meta []byte
 	if s.node.Rank() == 0 {
 		h, desc := headerFor(s.dist, nArrays, uint64(total))
-		meta = append(append(h.Encode(), desc...), meta...)
+		meta = bufpool.GetCap(enc.RecordHeaderLen + len(desc) + 4*len(localSizes))
+		meta = h.AppendTo(meta)
+		meta = append(meta, desc...)
+		meta = enc.AppendSizeTable(meta, localSizes)
+	} else {
+		meta = enc.AppendSizeTable(bufpool.GetCap(4*len(localSizes)), localSizes)
 	}
-	if _, err := s.f.ParallelAppend(meta); err != nil {
+	_, err = s.f.ParallelAppend(meta)
+	bufpool.Put(meta)
+	if err != nil {
 		return fmt.Errorf("dstream: meta append: %w", err)
 	}
 	return s.appendRecordBlock(data, "data append")

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/pfs"
 )
@@ -92,9 +93,16 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 
 	// The size table funnels through node 0 as in writeFunnel, placed at
 	// the head of its block so metadata and data move in one operation.
-	parts, err := comm.Gather(0, enc.EncodeSizeTable(localSizes))
+	st := enc.AppendSizeTable(bufpool.GetCap(4*len(localSizes)), localSizes)
+	parts, err := comm.Gather(0, st)
 	if err != nil {
+		bufpool.Put(st)
 		return fmt.Errorf("dstream: gather sizes: %w", err)
+	}
+	if me != 0 {
+		// The transport copied st on send; rank 0 releases its own copy
+		// below, after flattening (Gather aliases the root's contribution).
+		bufpool.Put(st)
 	}
 
 	// Aggregation plan: the data section will start metaLen bytes past the
@@ -129,13 +137,16 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 	}
 
 	// Aggregators assemble their extent; every other rank contributes an
-	// empty block to the closing append.
+	// empty block to the closing append. The received pieces (all owned by
+	// this rank per the Alltoallv contract) are released as they are packed.
 	var block []byte
+	blockPooled := false
 	if me < k {
 		extLen := cuts[me+1] - cuts[me]
-		ext := make([]byte, 0, extLen)
+		ext := bufpool.GetCap(int(extLen))
 		for _, p := range recv {
 			ext = append(ext, p...)
+			bufpool.Put(p)
 		}
 		if int64(len(ext)) != extLen {
 			return fmt.Errorf("dstream: extent %d assembled %d of %d bytes", me, len(ext), extLen)
@@ -143,23 +154,47 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 		s.node.CopyCost(int64(len(ext)))
 		s.met.extentBytes.Observe(float64(len(ext)))
 		block = ext
+		blockPooled = true
+	} else {
+		for _, p := range recv {
+			bufpool.Put(p)
+		}
 	}
 	s.met.shuffleBytes.Observe(float64(sent))
 	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
 
 	if me == 0 {
-		var allSizes []byte
+		allSizes := bufpool.GetCap(4 * s.dist.N)
 		for _, p := range parts {
 			allSizes = append(allSizes, p...)
 		}
-		if int64(len(allSizes)) != int64(4*s.dist.N) {
+		for r, p := range parts {
+			if r != 0 {
+				bufpool.Put(p)
+			}
+		}
+		bufpool.Put(st)
+		if len(allSizes) != 4*s.dist.N {
+			bufpool.Put(allSizes)
 			return fmt.Errorf("dstream: reassembled size table is %d bytes, want %d", len(allSizes), 4*s.dist.N)
 		}
-		meta := append(h.Encode(), desc...)
-		meta = append(meta, allSizes...)
-		block = append(meta, block...)
+		full := bufpool.GetCap(int(metaLen) + len(block))
+		full = h.AppendTo(full)
+		full = append(full, desc...)
+		full = append(full, allSizes...)
+		full = append(full, block...)
+		bufpool.Put(allSizes)
+		if blockPooled {
+			bufpool.Put(block)
+		}
+		block = full
+		blockPooled = true
 	}
-	return s.appendRecordBlock(block, "two-phase append")
+	err = s.appendRecordBlock(block, "two-phase append")
+	if blockPooled {
+		bufpool.Put(block)
+	}
+	return err
 }
 
 // refillTwoPhase is the read-side mirror: K aggregators refill
@@ -220,11 +255,22 @@ func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int) ([
 	if err != nil {
 		return nil, fmt.Errorf("dstream: two-phase scatter: %w", err)
 	}
+	// The extent's bytes have been copied onto the wire; release it.
+	bufpool.Put(ext)
+	// Assemble this node's share into the stream's refill scratch (grown
+	// through the pool when the record outgrows it); the previous record's
+	// decoders are invalid from here on, per the Read contract.
 	want := rankOff[me+1] - rankOff[me]
-	chunk := make([]byte, 0, want)
+	chunk := s.refill[:0]
+	if int64(cap(chunk)) < want {
+		bufpool.Put(s.refill)
+		chunk = bufpool.GetCap(int(want))
+	}
 	for _, p := range recv {
 		chunk = append(chunk, p...)
+		bufpool.Put(p)
 	}
+	s.refill = chunk
 	if int64(len(chunk)) != want {
 		return nil, fmt.Errorf("dstream: two-phase refill assembled %d of %d bytes", len(chunk), want)
 	}

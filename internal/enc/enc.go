@@ -105,6 +105,15 @@ type Reader struct {
 // NewReader decodes from b.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
+// Reset repoints the reader at b, clearing position and error state, so a
+// single Reader can decode a stream of records without per-record
+// allocation.
+func (d *Reader) Reset(b []byte) {
+	d.b = b
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the first decode error, if any.
 func (d *Reader) Err() error { return d.err }
 

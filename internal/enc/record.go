@@ -102,7 +102,15 @@ func DecodeOwnerTable(b []byte, n int) ([]int, error) {
 
 // Encode renders the fixed-size header.
 func (h *RecordHeader) Encode() []byte {
-	var e Buffer
+	return h.AppendTo(nil)
+}
+
+// AppendTo appends the fixed-size header encoding to dst — the
+// allocation-free form for callers assembling a record block in a reused or
+// pooled buffer.
+func (h *RecordHeader) AppendTo(dst []byte) []byte {
+	e := Buffer{b: dst}
+	mark := e.Len()
 	e.Uint32(RecordMagic)
 	e.Uint32(h.NArrays)
 	e.Uint32(h.NElems)
@@ -115,8 +123,8 @@ func (h *RecordHeader) Encode() []byte {
 	e.Uint32(h.DescBytes)
 	e.Uint64(h.DataBytes)
 	e.Uint64(0) // reserved
-	if e.Len() != RecordHeaderLen {
-		panic(fmt.Sprintf("enc: record header encoded to %d bytes, want %d", e.Len(), RecordHeaderLen))
+	if e.Len()-mark != RecordHeaderLen {
+		panic(fmt.Sprintf("enc: record header encoded to %d bytes, want %d", e.Len()-mark, RecordHeaderLen))
 	}
 	return e.Bytes()
 }
@@ -159,11 +167,30 @@ func DecodeRecordHeader(b []byte) (RecordHeader, error) {
 
 // EncodeSizeTable renders per-element sizes as u32s.
 func EncodeSizeTable(sizes []uint32) []byte {
-	var e Buffer
+	return AppendSizeTable(nil, sizes)
+}
+
+// AppendSizeTable appends the size-table encoding of sizes to dst.
+func AppendSizeTable(dst []byte, sizes []uint32) []byte {
+	e := Buffer{b: dst}
 	for _, s := range sizes {
 		e.Uint32(s)
 	}
 	return e.Bytes()
+}
+
+// SumSizeTable validates that b is a size table of exactly n entries and
+// returns the sum of the entries — what a record flush needs from the
+// gathered table, without materializing a []uint32.
+func SumSizeTable(b []byte, n int) (uint64, error) {
+	if len(b) != 4*n {
+		return 0, fmt.Errorf("enc: size table is %d bytes, want %d for %d entries", len(b), 4*n, n)
+	}
+	var total uint64
+	for off := 0; off < len(b); off += 4 {
+		total += uint64(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+	}
+	return total, nil
 }
 
 // DecodeSizeTable parses a size table of n entries.

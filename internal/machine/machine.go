@@ -179,6 +179,7 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 	}
 	if cfg.Monitor != nil {
 		fs.SetMonitor(cfg.Monitor)
+		bindPoolMetrics(cfg.Monitor)
 		if tt, ok := base.(*comm.TCPTransport); ok {
 			tt.SetMonitor(cfg.Monitor)
 		}

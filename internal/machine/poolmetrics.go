@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"sync"
+
+	"pcxxstreams/internal/bufpool"
+	"pcxxstreams/internal/dsmon"
+)
+
+// The bufpool package sits below dsmon in the dependency order and keeps
+// its statistics as process-global atomics; this glue exports them as
+// gauges, refreshed by a registry collector each time the metrics are
+// gathered. Bound at most once per registry, since monitors outlive runs.
+
+var poolBound sync.Map // *dsmon.Registry -> struct{}
+
+func bindPoolMetrics(mon *dsmon.Monitor) {
+	reg := mon.Registry()
+	if reg == nil {
+		return
+	}
+	if _, dup := poolBound.LoadOrStore(reg, struct{}{}); dup {
+		return
+	}
+	hits := reg.Gauge("bufpool_hits_total", "Buffer pool Gets served from the pool.")
+	misses := reg.Gauge("bufpool_misses_total", "Buffer pool Gets that allocated a fresh buffer.")
+	puts := reg.Gauge("bufpool_puts_total", "Buffers returned to the pool.")
+	discards := reg.Gauge("bufpool_discards_total", "Put buffers rejected (non-class capacity) and left to the GC.")
+	oversize := reg.Gauge("bufpool_oversize_total", "Gets above the largest size class, served by plain allocation.")
+	outstanding := reg.Gauge("bufpool_outstanding", "Pool-backed buffers currently held by callers.")
+	reg.AddCollector(func() {
+		st := bufpool.Stats()
+		hits.Set(float64(st.Hits))
+		misses.Set(float64(st.Misses))
+		puts.Set(float64(st.Puts))
+		discards.Set(float64(st.Discards))
+		oversize.Set(float64(st.Oversize))
+		outstanding.Set(float64(st.Outstanding))
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
@@ -175,6 +176,7 @@ type rendezvous struct {
 	completion float64
 	offsets    []int64
 	data       [][]byte
+	dsts       [][]byte
 	err        error
 }
 
@@ -347,6 +349,7 @@ func (h *File) collectNamed(name string, syncClock bool, fill func(r *rendezvous
 			ranges:   make([]Range, h.nprocs),
 			offsets:  make([]int64, h.nprocs),
 			data:     make([][]byte, h.nprocs),
+			dsts:     make([][]byte, h.nprocs),
 			done:     make(chan struct{}),
 		}
 		f.rdvs[h.seq] = r
@@ -440,10 +443,22 @@ func (h *File) parallelAppend(block []byte, syncClock bool) (int64, float64, err
 
 // ParallelRead is the synchronized parallel read: every node supplies the
 // byte range it needs (possibly empty) and receives that range. All nodes
-// leave at the same virtual time.
+// leave at the same virtual time. The returned buffer is pool-backed and
+// owned by the caller (bufpool.Put when done is optional).
 func (h *File) ParallelRead(rg Range) ([]byte, error) {
+	return h.ParallelReadInto(rg, nil)
+}
+
+// ParallelReadInto is ParallelRead reading into the caller's buffer: when
+// cap(dst) covers the range, dst[:rg.Len] is filled and returned and the
+// steady state allocates nothing; otherwise (including dst == nil) a
+// pool-backed buffer is returned. Each rank's dst serves only its own range.
+func (h *File) ParallelReadInto(rg Range, dst []byte) ([]byte, error) {
 	r, err := h.collectNamed("ParallelRead "+h.f.name, true,
-		func(r *rendezvous) { r.ranges[h.rank] = rg },
+		func(r *rendezvous) {
+			r.ranges[h.rank] = rg
+			r.dsts[h.rank] = dst
+		},
 		func(r *rendezvous) {
 			sizes := make([]int64, h.nprocs)
 			for i, g := range r.ranges {
@@ -453,7 +468,12 @@ func (h *File) ParallelRead(rg Range) ([]byte, error) {
 				if g.Len == 0 {
 					continue
 				}
-				buf := make([]byte, g.Len)
+				buf := r.dsts[i]
+				if cap(buf) >= g.Len {
+					buf = buf[:g.Len]
+				} else {
+					buf = bufpool.Get(g.Len)
+				}
 				if _, rerr := io.ReadFull(io.NewSectionReader(h.f.b, g.Off, int64(g.Len)), buf); rerr != nil {
 					r.err = fmt.Errorf("pfs: parallel read %q [%d,+%d): %w", h.f.name, g.Off, g.Len, rerr)
 					break
