@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase chaos-twophase bench-alloc alloc-check race-pooldebug
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ bench:
 # BENCH_twophase.json and fails if two-phase never beats both classic paths.
 bench-twophase:
 	$(GO) run ./cmd/dstream-bench -twophase -twophase-json BENCH_twophase.json
+
+# The read-ahead prefetch ablation. Emits the grid as BENCH_readahead.json
+# and fails unless prefetching lowers the refill stall on at least half the
+# cells with byte-identical data.
+bench-readahead:
+	$(GO) run ./cmd/dstream-bench -readahead -readahead-json BENCH_readahead.json
 
 # The allocation benchmark: real allocs/op on the pooled hot paths, emitted
 # as BENCH_alloc.json. `make alloc-check` re-measures and fails on a >10%
@@ -65,6 +71,10 @@ chaos:
 # Same oracle with the two-phase collective strategy on both stream ends.
 chaos-twophase:
 	$(GO) test ./internal/chaos/ -v -run TestChaosOracleTwoPhase -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
+# Same oracle with read-ahead prefetching over a striped, fault-injected store.
+chaos-readahead:
+	$(GO) test ./internal/chaos/ -v -run TestChaosOracleReadAhead -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
 
 # Short fuzz pass over the wire codec and the schema decoder (the committed
 # corpora under testdata/fuzz replay in every plain `go test` run).

@@ -24,29 +24,32 @@ import (
 
 func main() {
 	var (
-		table      = flag.Int("table", 0, "regenerate one table (1-4)")
-		all        = flag.Bool("all", false, "regenerate every table")
-		ablations  = flag.Bool("ablations", false, "run the ablation experiments")
-		stats      = flag.Bool("stats", false, "print the per-variant I/O operation profile")
-		traceOut   = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
-		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
-		metrics    = flag.Bool("metrics", false, "print the dsmon metrics of one run (Prometheus text)")
-		metricsJS  = flag.String("metrics-json", "", "write the dsmon metrics snapshot (JSON) to this file ('-' for stdout)")
-		variant    = flag.String("variant", "streams", "variant for -trace/-gantt/-metrics: unbuffered|manual|streams")
-		strategy   = flag.String("strategy", "auto", "stream write strategy for -trace/-gantt/-metrics runs: auto|funnel|parallel|twophase")
-		twophase   = flag.Bool("twophase", false, "run the two-phase vs funnel vs parallel strategy ablation")
-		twophaseJS = flag.String("twophase-json", "", "write the two-phase ablation grid (JSON) to this file ('-' for stdout)")
-		platforms  = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
-		scaling    = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
-		verify     = flag.Bool("verify", false, "verify data integrity after every input phase")
-		check      = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
-		alloc      = flag.Bool("alloc", false, "measure real allocs/op on the pooled hot paths")
-		allocJS    = flag.String("alloc-json", "", "write the allocation table (JSON) to this file ('-' for stdout)")
-		allocCheck = flag.String("alloc-check", "", "diff a fresh allocation table against this baseline JSON; fail on >10% regression")
+		table       = flag.Int("table", 0, "regenerate one table (1-4)")
+		all         = flag.Bool("all", false, "regenerate every table")
+		ablations   = flag.Bool("ablations", false, "run the ablation experiments")
+		stats       = flag.Bool("stats", false, "print the per-variant I/O operation profile")
+		traceOut    = flag.String("trace", "", "write a Chrome trace (JSON) of one streams run to this file")
+		gantt       = flag.Bool("gantt", false, "print an ASCII Gantt of one streams run")
+		metrics     = flag.Bool("metrics", false, "print the dsmon metrics of one run (Prometheus text)")
+		metricsJS   = flag.String("metrics-json", "", "write the dsmon metrics snapshot (JSON) to this file ('-' for stdout)")
+		variant     = flag.String("variant", "streams", "variant for -trace/-gantt/-metrics: unbuffered|manual|streams")
+		strategy    = flag.String("strategy", "auto", "stream write strategy for -trace/-gantt/-metrics runs: auto|funnel|parallel|twophase")
+		twophase    = flag.Bool("twophase", false, "run the two-phase vs funnel vs parallel strategy ablation")
+		twophaseJS  = flag.String("twophase-json", "", "write the two-phase ablation grid (JSON) to this file ('-' for stdout)")
+		readahead   = flag.Bool("readahead", false, "run the read-ahead prefetch ablation")
+		readaheadJS = flag.String("readahead-json", "", "write the read-ahead ablation grid (JSON) to this file ('-' for stdout)")
+		platforms   = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
+		scaling     = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
+		verify      = flag.Bool("verify", false, "verify data integrity after every input phase")
+		check       = flag.Bool("check", true, "fail if a table violates the paper's shape criteria")
+		alloc       = flag.Bool("alloc", false, "measure real allocs/op on the pooled hot paths")
+		allocJS     = flag.String("alloc-json", "", "write the allocation table (JSON) to this file ('-' for stdout)")
+		allocCheck  = flag.String("alloc-check", "", "diff a fresh allocation table against this baseline JSON; fail on >10% regression")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
-		!*twophase && *twophaseJS == "" && !*alloc && *allocJS == "" && *allocCheck == "" &&
+		!*twophase && *twophaseJS == "" && !*readahead && *readaheadJS == "" &&
+		!*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
 	}
@@ -216,6 +219,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dstream-bench: two-phase wins %d of %d grid cells outright\n", wins, len(pts))
 	}
 
+	if *readahead || *readaheadJS != "" {
+		pts, err := bench.ReadAheadSweep()
+		if err != nil {
+			fatal(err)
+		}
+		if *readahead {
+			formatReadAhead(os.Stdout, pts)
+		}
+		if *readaheadJS != "" {
+			out := os.Stdout
+			if *readaheadJS != "-" {
+				f, err := os.Create(*readaheadJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bar for the pipeline: read-ahead must lower the
+		// refill stall on at least half the grid, and never corrupt data.
+		wins := 0
+		for _, p := range pts {
+			if !p.Identical {
+				fatal(fmt.Errorf("read-ahead cell %s/%s depth %d delivered wrong bytes", p.Platform, p.Strategy, p.Depth))
+			}
+			if p.StallAhead < p.StallSync {
+				wins++
+			}
+		}
+		if 2*wins < len(pts) {
+			fatal(fmt.Errorf("read-ahead lowered the refill stall on only %d of %d grid cells — the prefetch is not overlapping", wins, len(pts)))
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: read-ahead lowers the refill stall on %d of %d grid cells\n", wins, len(pts))
+	}
+
 	if *stats {
 		if err := bench.OpProfile(os.Stdout, pcxx.Paragon(), 4, 512); err != nil {
 			fatal(err)
@@ -312,6 +356,19 @@ func formatTwoPhase(w *os.File, pts []bench.StrategyPoint) {
 		fmt.Fprintf(w, "%-10s %6d %8d %9d %7d %10.4f %10.4f %10.4f   %s\n",
 			p.Platform, p.NProcs, p.Segments, p.Particles, p.StripeFactor,
 			p.Funnel, p.Parallel, p.TwoPhase, p.Winner)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatReadAhead(w *os.File, pts []bench.ReadAheadPoint) {
+	fmt.Fprintln(w, "Read-ahead prefetch ablation (summed refill stall, virtual seconds, SCF input)")
+	fmt.Fprintln(w, "------------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%-10s %-9s %5s %6s %8s %8s %12s %12s %6s\n",
+		"platform", "strategy", "depth", "procs", "records", "stripe", "stall(sync)", "stall(ahead)", "hits")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %-9s %5d %6d %8d %8d %12.4f %12.4f %6d\n",
+			p.Platform, p.Strategy, p.Depth, p.NProcs, p.Records, p.StripeFactor,
+			p.StallSync, p.StallAhead, p.PrefetchHits)
 	}
 	fmt.Fprintln(w)
 }

@@ -51,7 +51,17 @@ func AllocTable() ([]AllocCell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: two-phase alloc cycle: %w", err)
 	}
-	return append(cells, twophase), nil
+	cells = append(cells, twophase)
+	read, err := machineReadCycleAllocs(dstream.StrategyParallel, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel read alloc cycle: %w", err)
+	}
+	cells = append(cells, read)
+	ahead, err := machineReadCycleAllocs(dstream.StrategyParallel, 2)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read-ahead alloc cycle: %w", err)
+	}
+	return append(cells, ahead), nil
 }
 
 func benchToCell(name string, f func(b *testing.B)) AllocCell {
@@ -158,6 +168,102 @@ func machineCycleAllocs(strat dstream.Strategy) (AllocCell, error) {
 				return err
 			}
 			return s.Write()
+		}
+		for i := 0; i < allocWarmup; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		// Quiesce: all ranks idle while rank 0 snapshots the heap counters.
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		var before runtime.MemStats
+		var gcPct int
+		if n.Rank() == 0 {
+			gcPct = debug.SetGCPercent(-1) // no GC inside the window
+			runtime.ReadMemStats(&before)
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < allocCycles; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		if n.Rank() == 0 {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			debug.SetGCPercent(gcPct)
+			allocs = float64(after.Mallocs-before.Mallocs) / allocCycles
+			bytes = float64(after.TotalAlloc-before.TotalAlloc) / allocCycles
+		}
+		return nil
+	})
+	if err != nil {
+		return AllocCell{}, err
+	}
+	return AllocCell{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes}, nil
+}
+
+// machineReadCycleAllocs is the input-side mirror of machineCycleAllocs: the
+// machine first writes allocWarmup+allocCycles records, then re-opens the
+// file for input and measures the steady-state read+extract cycle — with the
+// prefetch pipeline off (depth 0) or on. Read-ahead recycles its buffers
+// through the stream's free list, so its cycle must not out-allocate the
+// synchronous path.
+func machineReadCycleAllocs(strat dstream.Strategy, depth int) (AllocCell, error) {
+	name := "dstream_parallel_read"
+	if depth > 0 {
+		name = "dstream_readahead_read"
+	}
+	const records = allocWarmup + allocCycles
+	var allocs, bytes float64
+	fs := pfs.NewFileSystem(vtime.Paragon(), pfs.StripedMemFactory(allocNProcs, 1<<14))
+	_, err := machine.Run(machine.Config{
+		NProcs:  allocNProcs,
+		Profile: vtime.Paragon(),
+		FS:      fs,
+	}, func(n *machine.Node) error {
+		d, err := distr.New(allocElems, allocNProcs, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		s, err := dstream.Open(n, d, "alloc-bench-read", dstream.WithStrategy(strat))
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, allocElemSize)
+		for i := 0; i < records; i++ {
+			if err := s.InsertFunc(func(l int, e *dstream.Encoder) { e.Raw(payload) }); err != nil {
+				return err
+			}
+			if err := s.Write(); err != nil {
+				return err
+			}
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+
+		opts := []dstream.Option{dstream.WithStrategy(strat)}
+		if depth > 0 {
+			opts = append(opts, dstream.WithReadAhead(depth))
+		}
+		in, err := dstream.OpenInput(n, d, "alloc-bench-read", opts...)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		cycle := func() error {
+			if err := in.Read(); err != nil {
+				return err
+			}
+			return in.ExtractFunc(func(l int, d *dstream.Decoder) { d.Raw(allocElemSize) })
 		}
 		for i := 0; i < allocWarmup; i++ {
 			if err := cycle(); err != nil {

@@ -22,6 +22,7 @@ const (
 	inprocSendRecvBudget  = 1   // allocs/op, 1 KiB payload, receiver Puts
 	funnelCycleBudget     = 40  // whole-machine allocs per insert+write cycle, 4 ranks
 	twoPhaseCycleBudget   = 110 // same, with the aggregation shuffle
+	readCycleBudget       = 110 // whole-machine allocs per read+extract cycle, 4 ranks
 	funnelCycleByteBudget = 20 << 10
 )
 
@@ -125,6 +126,30 @@ func TestTwoPhaseWriteCycleAllocPin(t *testing.T) {
 	t.Logf("two-phase cycle: %.1f allocs, %.1f B", cell.AllocsPerOp, cell.BytesPerOp)
 	if cell.AllocsPerOp > twoPhaseCycleBudget {
 		t.Errorf("two-phase insert+write cycle: %.1f allocs, budget %d", cell.AllocsPerOp, twoPhaseCycleBudget)
+	}
+}
+
+// TestReadCycleAllocPin pins the input side both ways: the synchronous
+// read+extract cycle, and the same cycle under WithReadAhead(2). The second
+// pin is the structural guarantee of the prefetch pipeline — its buffers
+// cycle through the stream's free list, so turning it on must not raise the
+// steady-state allocation rate over the synchronous path's budget.
+func TestReadCycleAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	if testing.Short() {
+		t.Skip("machine-level pin skipped in -short mode")
+	}
+	for _, depth := range []int{0, 2} {
+		cell, err := machineReadCycleAllocs(dstream.StrategyParallel, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %.1f allocs, %.1f B", cell.Name, cell.AllocsPerOp, cell.BytesPerOp)
+		if cell.AllocsPerOp > readCycleBudget {
+			t.Errorf("%s cycle: %.1f allocs, budget %d", cell.Name, cell.AllocsPerOp, readCycleBudget)
+		}
 	}
 }
 

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+// ReadAheadPoint is one cell of the read-ahead ablation grid: the same
+// multi-record SCF input pipeline timed with prefetching off and on, on one
+// (platform, strategy, depth) configuration. StallSync and StallAhead are
+// the run-wide sums of dstream_refill_stall_seconds — the virtual time
+// Read kept the consumers from computing — and the gate for the ablation
+// is StallAhead < StallSync. Identical confirms both runs delivered every
+// segment byte-for-byte equal to the generator (the prefetch pipeline is
+// only allowed to move the stall, never the data).
+type ReadAheadPoint struct {
+	Platform         string  `json:"platform"`
+	Strategy         string  `json:"strategy"`
+	Depth            int     `json:"depth"`
+	NProcs           int     `json:"nprocs"`
+	Segments         int     `json:"segments"`
+	Particles        int     `json:"particles"`
+	Records          int     `json:"records"`
+	StripeFactor     int     `json:"stripe_factor"`
+	ComputePerRecord float64 `json:"compute_per_record_seconds"`
+	StallSync        float64 `json:"refill_stall_sync_seconds"`
+	StallAhead       float64 `json:"refill_stall_ahead_seconds"`
+	PrefetchHits     int64   `json:"prefetch_hits"`
+	Identical        bool    `json:"identical"`
+}
+
+// readAheadStall writes `records` records of SCF segments (cyclic layout),
+// then reads them back under a block layout (forcing the sorted-read
+// redistribution) with `compute` virtual seconds of work after each
+// record, verifying every segment against the deterministic generator. It
+// returns the input side's summed refill stall and prefetch hit count.
+func readAheadStall(prof vtime.Profile, nprocs, segments, particles, records int,
+	strat dstream.Strategy, depth int, compute float64, stripeFactor int, unit int64) (float64, int64, error) {
+	fs := pfs.NewFileSystem(prof, pfs.StripedMemFactory(stripeFactor, unit))
+	_, err := machine.Run(machine.Config{NProcs: nprocs, Profile: prof, FS: fs}, func(n *machine.Node) error {
+		d, err := distr.New(segments, nprocs, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		s, err := dstream.Open(n, d, "scf", dstream.WithStrategy(strat))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		c, err := collection.New[scf.Segment](n, d)
+		if err != nil {
+			return err
+		}
+		for rec := 0; rec < records; rec++ {
+			rec := rec
+			c.Apply(func(g int, sg *scf.Segment) { sg.Fill(g+1000*rec, particles) })
+			if err := dstream.Insert[scf.Segment](s, c); err != nil {
+				return err
+			}
+			if err := s.Write(); err != nil {
+				return err
+			}
+		}
+		return s.Close()
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: read-ahead write phase: %w", err)
+	}
+
+	mon := dsmon.New()
+	_, err = machine.Run(machine.Config{NProcs: nprocs, Profile: prof, FS: fs, Monitor: mon}, func(n *machine.Node) error {
+		d, err := distr.New(segments, nprocs, distr.Block, 0)
+		if err != nil {
+			return err
+		}
+		opts := []dstream.Option{dstream.WithStrategy(strat)}
+		if depth > 0 {
+			opts = append(opts, dstream.WithReadAhead(depth))
+		}
+		s, err := dstream.OpenInput(n, d, "scf", opts...)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		c, err := collection.New[scf.Segment](n, d)
+		if err != nil {
+			return err
+		}
+		var ref scf.Segment
+		for rec := 0; rec < records; rec++ {
+			if err := s.Read(); err != nil {
+				return err
+			}
+			if err := dstream.Extract[scf.Segment](s, c); err != nil {
+				return err
+			}
+			var bad error
+			rec := rec
+			c.Apply(func(g int, sg *scf.Segment) {
+				if bad != nil {
+					return
+				}
+				ref.Fill(g+1000*rec, particles)
+				if !sg.Equal(&ref) {
+					bad = fmt.Errorf("record %d segment %d differs from generator", rec, g)
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+			n.Compute(compute)
+		}
+		return s.Close()
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench: read-ahead input phase (depth %d): %w", depth, err)
+	}
+	reg := mon.Registry()
+	stall := reg.Histogram("dstream_refill_stall_seconds", "", dsmon.LatencyBuckets).Sum()
+	hits := reg.Counter("dstream_prefetch_hits_total", "").Value()
+	return stall, hits, nil
+}
+
+// MeasureReadAhead times one grid cell with prefetching off and at the
+// given depth. Verification stays on in both runs: a depth that wins by
+// delivering wrong bytes is not a win, and Identical records that both
+// runs passed it.
+func MeasureReadAhead(prof vtime.Profile, nprocs, segments, particles, records int,
+	strat dstream.Strategy, depth int, compute float64, stripeFactor int, unit int64) (ReadAheadPoint, error) {
+	pt := ReadAheadPoint{
+		Platform:         prof.Name,
+		Strategy:         strat.String(),
+		Depth:            depth,
+		NProcs:           nprocs,
+		Segments:         segments,
+		Particles:        particles,
+		Records:          records,
+		StripeFactor:     stripeFactor,
+		ComputePerRecord: compute,
+	}
+	var err error
+	if pt.StallSync, _, err = readAheadStall(prof, nprocs, segments, particles, records,
+		strat, 0, compute, stripeFactor, unit); err != nil {
+		return pt, err
+	}
+	if pt.StallAhead, pt.PrefetchHits, err = readAheadStall(prof, nprocs, segments, particles, records,
+		strat, depth, compute, stripeFactor, unit); err != nil {
+		return pt, err
+	}
+	pt.Identical = true // both phases verified every segment against the generator
+	return pt, nil
+}
+
+// ReadAheadSweep runs the default read-ahead ablation grid: platform ×
+// strategy × prefetch depth, on a striped store with computation between
+// records for the prefetched transfers to hide under. Every cell measures
+// the synchronous baseline alongside, so the JSON is self-contained.
+func ReadAheadSweep() ([]ReadAheadPoint, error) {
+	var out []ReadAheadPoint
+	for _, prof := range []vtime.Profile{vtime.Paragon(), vtime.CM5()} {
+		for _, strat := range []dstream.Strategy{dstream.StrategyParallel, dstream.StrategyTwoPhase} {
+			for _, depth := range []int{1, 2} {
+				pt, err := MeasureReadAhead(prof, 4, 16, 64, 6, strat, depth, 0.02, 4, 16<<10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}

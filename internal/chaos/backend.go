@@ -69,6 +69,26 @@ func WrapFactory(factory pfs.BackendFactory, seed int64, rates Rates, mon *dsmon
 	}
 }
 
+// StripedChaosFactory returns a factory producing striped backends whose k
+// children are each chaos-wrapped memory stores with independent PRNG
+// streams (derived from the schedule seed, the file name, and the child
+// index), so the stripe's concurrent fan-out faces faults on every leg
+// *under* the stripe — each child failing on its own schedule, with the
+// file system's resilient layer retrying the whole multi-child operation
+// above. mon may be nil.
+func StripedChaosFactory(k int, unit int64, seed int64, rates Rates, mon *dsmon.Monitor) pfs.BackendFactory {
+	return func(name string) (pfs.Backend, error) {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		base := seed ^ int64(h.Sum64())
+		children := make([]pfs.Backend, k)
+		for i := range children {
+			children[i] = NewBackend(pfs.NewMemBackend(), base+int64(i)*0x9e3779b9, rates, mon)
+		}
+		return pfs.NewStripedBackend(children, unit)
+	}
+}
+
 // fault draws one uniform sample and maps it to (errFault, shortFault) for
 // an operation on n bytes; cut is the prefix length of a short transfer.
 func (b *Backend) fault(errRate, shortRate float64, n int) (errFault bool, cut int) {

@@ -38,6 +38,16 @@ type Config struct {
 	// two-phase shuffle/scatter traffic is exposed to the fault schedule
 	// like every other path.
 	Strategy dstream.Strategy
+	// ReadAhead enables the input stream's prefetch pipeline at the given
+	// depth (0 = synchronous reads), exposing the background refills and
+	// their abandon-on-failure paths to the fault schedule.
+	ReadAhead int
+	// StripeFactor stripes the chaotic store over this many fault-injected
+	// child backends (0 = one flat backend), so the concurrent fan-out
+	// faces faults on every leg. StripeUnit is the cell size (default 4096
+	// when striped).
+	StripeFactor int
+	StripeUnit   int64
 	// Rates is the fault schedule (DefaultRates() when zero — detected by
 	// an all-zero struct).
 	Rates Rates
@@ -65,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Rates == (Rates{}) {
 		c.Rates = DefaultRates()
+	}
+	if c.StripeFactor > 0 && c.StripeUnit <= 0 {
+		c.StripeUnit = 4096
 	}
 	if c.Watchdog <= 0 {
 		c.Watchdog = 60 * time.Second
@@ -155,7 +168,11 @@ func pipeline(cfg Config) func(*machine.Node) error {
 		if err != nil {
 			return err
 		}
-		in, err := dstream.OpenInput(n, dr, harnessFile, dstream.WithStrategy(cfg.Strategy))
+		iopts := []dstream.Option{dstream.WithStrategy(cfg.Strategy)}
+		if cfg.ReadAhead > 0 {
+			iopts = append(iopts, dstream.WithReadAhead(cfg.ReadAhead))
+		}
+		in, err := dstream.OpenInput(n, dr, harnessFile, iopts...)
 		if err != nil {
 			return err
 		}
@@ -238,8 +255,11 @@ func injectCounts(mon *dsmon.Monitor) map[string]int64 {
 func RunSeed(cfg Config, seed int64, refImage []byte) SeedResult {
 	cfg = cfg.withDefaults()
 	mon := dsmon.New()
-	fs := pfs.NewFileSystem(vtime.Paragon(),
-		WrapFactory(pfs.MemFactory(), seed, cfg.Rates, mon))
+	factory := WrapFactory(pfs.MemFactory(), seed, cfg.Rates, mon)
+	if cfg.StripeFactor > 0 {
+		factory = StripedChaosFactory(cfg.StripeFactor, cfg.StripeUnit, seed, cfg.Rates, mon)
+	}
+	fs := pfs.NewFileSystem(vtime.Paragon(), factory)
 
 	res := SeedResult{Seed: seed}
 	done := make(chan error, 1)
@@ -294,8 +314,8 @@ func RunSeed(cfg Config, seed int64, refImage []byte) SeedResult {
 
 // Report aggregates a seed campaign.
 type Report struct {
-	Results                              []SeedResult
-	OK, CleanErrors, Corruptions, Hangs  int
+	Results                             []SeedResult
+	OK, CleanErrors, Corruptions, Hangs int
 	// Injects sums each fault kind's injections over the whole campaign.
 	Injects map[string]int64
 }

@@ -101,6 +101,36 @@ func TestChaosOracleParallel(t *testing.T) {
 	}
 }
 
+// TestChaosOracleReadAhead runs the campaign with the input stream's
+// prefetch pipeline on over a striped, fault-injected store: every stripe
+// leg of the concurrent fan-out fails on its own schedule while the reader
+// holds in-flight background refills. The trichotomy verdict is unchanged —
+// byte-identity or a clean error on every rank; a prefetch that outlives
+// its stream, leaks a pooled buffer into a wedged rendezvous, or applies a
+// stale speculative refill shows up here as a hang or a corruption.
+func TestChaosOracleReadAhead(t *testing.T) {
+	rep, err := RunSeeds(Config{
+		ReadAhead:    2,
+		Records:      3,
+		StripeFactor: 3,
+		StripeUnit:   1 << 12,
+	}, *chaosSeed, *chaosN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+	if rep.OK == 0 {
+		t.Error("no read-ahead seed completed successfully — default rates should mostly be survivable")
+	}
+	// The striped factory must actually have put faults under the fan-out.
+	for _, k := range pfsKinds {
+		if rep.Injects["pfs:"+k] == 0 {
+			t.Errorf("no seed injected pfs fault %q under the stripe", k)
+		}
+	}
+	t.Logf("injections: %v", rep.Injects)
+}
+
 // TestReferenceStrategyIdentity: the fault-free pipeline writes the same
 // bytes whichever strategy moves them — funnel, parallel, and two-phase are
 // rank-to-block assignments, not formats. This pins the cross-strategy

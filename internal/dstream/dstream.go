@@ -126,6 +126,15 @@ type Options struct {
 	// extension beyond the paper's synchronous write primitive; the
 	// BenchmarkAblationAsyncOverlap bench quantifies it.
 	Async bool
+	// ReadAhead is the input-stream prefetch depth: while the consumer
+	// drains the current record, up to ReadAhead upcoming records are
+	// fetched in the background (metadata synchronously — it is a few
+	// broadcast bytes — the data section with the asynchronous read
+	// primitives), so Read stalls only for the un-overlapped remainder of
+	// the transfer. The read-side mirror of Async. Zero disables
+	// prefetching; prefetched records a consumer skips are counted as
+	// wasted bytes and their buffers recycled.
+	ReadAhead int
 }
 
 func (o Options) funnelThreshold() int {
@@ -199,6 +208,15 @@ type streamMetrics struct {
 	shuffleBytes *dsmon.Histogram
 	extentBytes  *dsmon.Histogram
 	shuffleStall *dsmon.Histogram
+	// Read-ahead accounting: prefetchHits counts reads served from the
+	// prefetch queue; prefetchWasted counts prefetched data bytes dropped
+	// unread (skipped records, close with queued records); prefetchOverlap
+	// observes, per hit, the virtual seconds of the prefetched transfer
+	// that overlapped computation instead of stalling the consumer —
+	// refillStall holds the blocked remainder.
+	prefetchHits    *dsmon.Counter
+	prefetchWasted  *dsmon.Counter
+	prefetchOverlap *dsmon.Histogram
 }
 
 // newStreamMetrics binds the dstream metric families in m's registry.
@@ -232,6 +250,12 @@ func newStreamMetrics(m *dsmon.Monitor) *streamMetrics {
 			"stripe-aligned extent bytes per aggregator transfer", dsmon.SizeBuckets),
 		shuffleStall: reg.Histogram("dstream_twophase_shuffle_stall_seconds",
 			"virtual seconds the two-phase shuffle kept the node from computing", dsmon.LatencyBuckets),
+		prefetchHits: reg.Counter("dstream_prefetch_hits_total",
+			"input-stream reads served from the read-ahead queue"),
+		prefetchWasted: reg.Counter("dstream_prefetch_wasted_bytes_total",
+			"prefetched data bytes dropped unread (skips, close with queued records)"),
+		prefetchOverlap: reg.Histogram("dstream_prefetch_overlap_seconds",
+			"virtual seconds of prefetched transfer overlapped with computation per hit", dsmon.LatencyBuckets),
 	}
 }
 

@@ -1,6 +1,7 @@
 package dstream
 
 import (
+	"errors"
 	"fmt"
 
 	"pcxxstreams/internal/bufpool"
@@ -30,6 +31,58 @@ type IStream struct {
 	// Close); hdrScratch is node 0's metadata read buffer.
 	refill     []byte
 	hdrScratch []byte
+
+	// Read-ahead state (Options.ReadAhead > 0): pre is the queue of
+	// prefetched records, oldest first and file-contiguous from cursor;
+	// preFree recycles retired share buffers as future prefetch
+	// destinations; starts caches the per-rank element split of the
+	// reader's distribution (identical for every record the stream
+	// accepts).
+	pre     []prefetched
+	preFree [][]byte
+	starts  []int
+}
+
+// recordMeta is the decoded front matter of one record: header, raw
+// distribution descriptor, and the prefix-summed element payload offsets
+// within the data section (len NElems+1).
+type recordMeta struct {
+	h    enc.RecordHeader
+	desc []byte
+	offs []int64
+}
+
+// prefetched is one read-ahead record: decoded metadata plus this rank's
+// contiguous share of the data section, whose bytes are valid (in virtual
+// time) from completion on. The share was moved by an asynchronous
+// collective, so a consumer arriving before completion stalls only for the
+// remainder.
+type prefetched struct {
+	cursor     int64 // file offset of the record's header
+	next       int64 // file offset of the record after it
+	meta       recordMeta
+	chunk      []byte  // this rank's share (pooled; nil for an empty share)
+	issued     float64 // virtual time the prefetch was issued
+	completion float64 // virtual time the data transfer lands
+}
+
+// commError tags an error whose occurrence may differ across ranks — a
+// transport failure seen by this rank only. The prefetch pipeline must
+// treat these as fatal: a rank that silently abandoned a prefetch while its
+// peers queued one would desynchronize the group's collective schedules.
+// Deterministic failures (decode errors, node 0's broadcast read verdict)
+// carry no tag and may be abandoned benignly — every rank abandons them
+// together, and the consumer's own synchronous Read or Skip surfaces
+// whatever is really there. The wrapper is transparent in rendered
+// messages.
+type commError struct{ err error }
+
+func (e *commError) Error() string { return e.err.Error() }
+func (e *commError) Unwrap() error { return e.err }
+
+func isCommErr(err error) bool {
+	var ce *commError
+	return errors.As(err, &ce)
 }
 
 // Input opens an input d/stream for collections distributed by d, backed by
@@ -89,6 +142,9 @@ func openInput(node *machine.Node, d *distr.Distribution, name string, opts Opti
 		return nil, s.fail(fmt.Errorf("dstream: open sync: %w", err))
 	}
 	s.cursor = enc.FileHeaderLen
+	// With read-ahead enabled, start the pipeline now so the first Read
+	// already overlaps with whatever the consumer does before it.
+	s.topUpPrefetch()
 	return s, nil
 }
 
@@ -127,83 +183,79 @@ func (s *IStream) read(sorted bool) error {
 	}
 	start := s.node.Clock().Now()
 
-	// Step 1: record header — node 0 reads, broadcasts.
-	hdr, err := s.bcastBytes(s.cursor, enc.RecordHeaderLen)
-	if err != nil {
-		return s.fail(fmt.Errorf("%w: read record header: %w", ErrIO, err))
-	}
-	h, err := enc.DecodeRecordHeader(hdr)
-	if err != nil {
-		return s.fail(err)
-	}
-	if int(h.NElems) != s.dist.N {
-		return s.fail(fmt.Errorf("dstream: record has %d elements, reader expects %d", h.NElems, s.dist.N))
-	}
-
-	// Step 2: descriptor and size table — node 0 reads, broadcasts. (The
-	// distribution and size information, "which appear ahead of the actual
-	// data".)
-	var desc []byte
-	if h.DescBytes > 0 {
-		desc, err = s.bcastBytes(s.cursor+enc.RecordHeaderLen, int(h.DescBytes))
-		if err != nil {
-			return s.fail(fmt.Errorf("%w: read distribution descriptor: %w", ErrIO, err))
+	// Steps 1–2: record front matter — served from the prefetch queue when
+	// the pipeline has it, read synchronously (node 0 reads, broadcasts)
+	// otherwise.
+	e, hit := s.takePrefetched()
+	var m recordMeta
+	if hit {
+		// The data transfer was issued in the background; stall only for
+		// its un-overlapped remainder.
+		s.node.Clock().SyncTo(e.completion)
+		overlap := start - e.issued
+		if lag := e.completion - e.issued; overlap > lag {
+			overlap = lag
+		}
+		if overlap < 0 {
+			overlap = 0
+		}
+		s.met.prefetchHits.Inc()
+		s.met.prefetchOverlap.Observe(overlap)
+		m = e.meta
+	} else {
+		var err error
+		if m, err = s.loadMeta(s.cursor); err != nil {
+			return s.fail(err)
 		}
 	}
-	tableRaw, err := s.bcastBytes(s.cursor+enc.RecordHeaderLen+int64(h.DescBytes), int(h.SizeTableBytes()))
-	if err != nil {
-		return s.fail(fmt.Errorf("%w: read size table: %w", ErrIO, err))
-	}
-	sizes, err := enc.DecodeSizeTable(tableRaw, int(h.NElems))
+
+	wdist, err := distFromHeader(m.h, m.desc)
 	if err != nil {
 		return s.fail(err)
 	}
 
-	wdist, err := distFromHeader(h, desc)
-	if err != nil {
-		return s.fail(err)
-	}
-
-	// File-order bookkeeping: offsets of each element payload within the
-	// data section, and the split of file positions across reader nodes.
-	n := int(h.NElems)
-	offs := make([]int64, n+1)
-	for i, sz := range sizes {
-		offs[i+1] = offs[i] + int64(sz)
-	}
-	if uint64(offs[n]) != h.DataBytes {
-		return s.fail(fmt.Errorf("dstream: size table sums to %d but record claims %d data bytes", offs[n], h.DataBytes))
-	}
-	dataStart := s.cursor + enc.RecordHeaderLen + int64(h.DescBytes) + h.SizeTableBytes()
+	n := int(m.h.NElems)
+	offs := m.offs
+	dataStart := s.cursor + enc.RecordHeaderLen + int64(m.h.DescBytes) + m.h.SizeTableBytes()
 
 	me := s.node.Rank()
-	starts := make([]int, s.dist.NProcs+1)
-	for r := 0; r < s.dist.NProcs; r++ {
-		starts[r+1] = starts[r] + s.dist.LocalCount(r)
-	}
+	starts := s.rankStarts()
 	lo, hi := starts[me], starts[me+1]
 
 	// Step 3: move this node's contiguous share of the data section out of
-	// the file — with one direct parallel read (conforming to the layout on
-	// disk), or, under the two-phase strategy, through aggregators that
-	// refill stripe-aligned extents once and scatter slices to consumers.
+	// the file — a prefetched share already sits in memory; otherwise one
+	// direct parallel read (conforming to the layout on disk), or, under
+	// the two-phase strategy, aggregators that refill stripe-aligned
+	// extents once and scatter slices to consumers.
 	var chunk []byte
-	if s.opts.strategy(n) == StrategyTwoPhase {
-		chunk, err = s.refillTwoPhase(dataStart, offs, starts)
-	} else {
+	switch {
+	case hit:
+		if e.chunk != nil {
+			s.retireBuf(s.refill)
+			s.refill = e.chunk
+		}
+		chunk = e.chunk
+	case s.opts.strategy(n) == StrategyTwoPhase:
+		c, _, err := s.refillTwoPhase(dataStart, offs, starts, s.refill, false)
+		s.refill = c
+		chunk = c
+		if err != nil {
+			return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
+		}
+	default:
 		rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
 		old := s.refill
 		chunk, err = s.f.ParallelReadInto(rg, old[:0])
-		if err == nil && rg.Len > 0 {
+		if err != nil {
+			return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
+		}
+		if rg.Len > 0 {
 			if cap(old) < rg.Len {
 				// Outgrown: the read came back in a fresh pooled buffer.
 				bufpool.Put(old)
 			}
 			s.refill = chunk
 		}
-	}
-	if err != nil {
-		return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
 	}
 	s.node.CopyCost(int64(len(chunk)))
 
@@ -239,20 +291,223 @@ func (s *IStream) read(sorted bool) error {
 			s.elemBufs[i] = d
 		}
 	}
-	s.hdr = h
+	s.hdr = m.h
 	s.haveRec = true
 	s.extracts = 0
-	s.cursor += h.TotalBytes()
+	s.cursor += m.h.TotalBytes()
 	end := s.node.Clock().Now()
 	s.met.reads.Inc()
 	s.met.refillBytes.Observe(float64(len(chunk)))
 	s.met.refillStall.Observe(end - start)
+	// Top up the pipeline after the stall metric is cut, so issuing the
+	// next prefetches never counts against this read's stall.
+	s.topUpPrefetch()
 	op := "istream.Read "
 	if !sorted {
 		op = "istream.UnsortedRead "
 	}
 	s.met.mon.Span(s.node.Rank(), "dstream", op+s.name, start, end)
 	return nil
+}
+
+// loadMeta reads and validates the front matter of the record at cursor —
+// header, distribution descriptor, and size table, each read by node 0 and
+// broadcast — and returns the decoded header, the raw descriptor, and the
+// prefix-summed payload offsets within the data section (length NElems+1).
+// Collective; the caller surfaces the error through s.fail where that is
+// warranted.
+func (s *IStream) loadMeta(cursor int64) (recordMeta, error) {
+	var m recordMeta
+	hdr, err := s.bcastBytes(cursor, enc.RecordHeaderLen)
+	if err != nil {
+		return m, fmt.Errorf("%w: read record header: %w", ErrIO, err)
+	}
+	h, err := enc.DecodeRecordHeader(hdr)
+	if err != nil {
+		return m, err
+	}
+	if int(h.NElems) != s.dist.N {
+		return m, fmt.Errorf("dstream: record has %d elements, reader expects %d", h.NElems, s.dist.N)
+	}
+
+	// Descriptor and size table — "which appear ahead of the actual data".
+	var desc []byte
+	if h.DescBytes > 0 {
+		desc, err = s.bcastBytes(cursor+enc.RecordHeaderLen, int(h.DescBytes))
+		if err != nil {
+			return m, fmt.Errorf("%w: read distribution descriptor: %w", ErrIO, err)
+		}
+	}
+	tableRaw, err := s.bcastBytes(cursor+enc.RecordHeaderLen+int64(h.DescBytes), int(h.SizeTableBytes()))
+	if err != nil {
+		return m, fmt.Errorf("%w: read size table: %w", ErrIO, err)
+	}
+	sizes, err := enc.DecodeSizeTable(tableRaw, int(h.NElems))
+	if err != nil {
+		return m, err
+	}
+	if _, err := distFromHeader(h, desc); err != nil {
+		return m, err
+	}
+
+	// File-order bookkeeping: offsets of each element payload within the
+	// data section.
+	n := int(h.NElems)
+	offs := make([]int64, n+1)
+	for i, sz := range sizes {
+		offs[i+1] = offs[i] + int64(sz)
+	}
+	if uint64(offs[n]) != h.DataBytes {
+		return m, fmt.Errorf("dstream: size table sums to %d but record claims %d data bytes", offs[n], h.DataBytes)
+	}
+	return recordMeta{h: h, desc: desc, offs: offs}, nil
+}
+
+// rankStarts returns (caching across records — the reader's distribution
+// never changes) the prefix sums of per-rank element counts: starts[r] is
+// the first file position owned by rank r, starts[nprocs] the total.
+func (s *IStream) rankStarts() []int {
+	if s.starts == nil {
+		s.starts = make([]int, s.dist.NProcs+1)
+		for r := 0; r < s.dist.NProcs; r++ {
+			s.starts[r+1] = s.starts[r] + s.dist.LocalCount(r)
+		}
+	}
+	return s.starts
+}
+
+// topUpPrefetch issues background fetches until the queue holds ReadAhead
+// upcoming records or the file runs out. Every input to the loop — cursor,
+// queue contents, file size, record headers — is identical on all ranks,
+// so the ranks extend their collective schedules in lockstep. A failed
+// prefetch stops the top-up: deterministic failures are abandoned by every
+// rank at once and re-surface through the consumer's own synchronous read;
+// transport failures fail the stream (see commError).
+func (s *IStream) topUpPrefetch() {
+	if s.opts.ReadAhead <= 0 || s.err != nil || s.f == nil {
+		return
+	}
+	next := s.cursor
+	if n := len(s.pre); n > 0 {
+		next = s.pre[n-1].next
+	}
+	for len(s.pre) < s.opts.ReadAhead && next < s.f.Size() {
+		e, ok := s.prefetchOne(next)
+		if !ok {
+			return
+		}
+		s.pre = append(s.pre, e)
+		next = e.next
+	}
+}
+
+// prefetchOne fetches the record at cursor in the background: front matter
+// synchronously (it is small and needed to plan the data transfer), the
+// data share with an asynchronous collective whose completion is settled
+// only when the record is consumed. ok=false abandons the prefetch.
+func (s *IStream) prefetchOne(cursor int64) (prefetched, bool) {
+	e := prefetched{cursor: cursor, issued: s.node.Clock().Now()}
+	m, err := s.loadMeta(cursor)
+	if err != nil {
+		if isCommErr(err) {
+			s.fail(err)
+		}
+		return e, false
+	}
+	e.meta = m
+	e.next = cursor + m.h.TotalBytes()
+	dataStart := cursor + enc.RecordHeaderLen + int64(m.h.DescBytes) + m.h.SizeTableBytes()
+	starts := s.rankStarts()
+	dst := s.takeFreeBuf()
+	if s.opts.strategy(int(m.h.NElems)) == StrategyTwoPhase {
+		chunk, completion, err := s.refillTwoPhase(dataStart, m.offs, starts, dst, true)
+		if err != nil {
+			s.retireBuf(chunk)
+			if isCommErr(err) {
+				s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
+			}
+			return e, false
+		}
+		e.chunk, e.completion = chunk, completion
+	} else {
+		me := s.node.Rank()
+		lo, hi := starts[me], starts[me+1]
+		rg := pfs.Range{Off: dataStart + m.offs[lo], Len: int(m.offs[hi] - m.offs[lo])}
+		chunk, completion, err := s.f.ParallelReadIntoAsync(rg, dst)
+		if err != nil {
+			// PFS errors reach every rank through the rendezvous, so the
+			// abandon is collective — benign.
+			s.retireBuf(dst)
+			return e, false
+		}
+		if rg.Len == 0 {
+			s.retireBuf(dst)
+			chunk = nil
+		} else if cap(dst) < rg.Len {
+			// Outgrown: the read came back in a fresh pooled buffer.
+			bufpool.Put(dst)
+		}
+		e.chunk, e.completion = chunk, completion
+	}
+	return e, true
+}
+
+// takePrefetched pops the queue head when it is the record at the current
+// cursor. A stale queue (which cursor movement through Read and Skip never
+// produces, but cheap to be safe against) is drained and counted wasted,
+// and the caller proceeds synchronously.
+func (s *IStream) takePrefetched() (prefetched, bool) {
+	if len(s.pre) == 0 {
+		return prefetched{}, false
+	}
+	if s.pre[0].cursor != s.cursor {
+		s.dropPrefetched()
+		return prefetched{}, false
+	}
+	e := s.pre[0]
+	copy(s.pre, s.pre[1:])
+	s.pre[len(s.pre)-1] = prefetched{}
+	s.pre = s.pre[:len(s.pre)-1]
+	return e, true
+}
+
+// dropPrefetched discards every queued prefetch, counting the fetched data
+// as wasted and recycling the share buffers.
+func (s *IStream) dropPrefetched() {
+	for i := range s.pre {
+		s.met.prefetchWasted.Add(int64(len(s.pre[i].chunk)))
+		s.retireBuf(s.pre[i].chunk)
+		s.pre[i] = prefetched{}
+	}
+	s.pre = s.pre[:0]
+}
+
+// retireBuf recycles a pooled buffer this stream no longer needs: onto the
+// local free list while prefetching (destinations turn over every record;
+// the list is bounded by the queue depth plus the refill slot), back to
+// the shared pool otherwise. nil is a no-op.
+func (s *IStream) retireBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	if s.opts.ReadAhead > 0 && len(s.preFree) <= s.opts.ReadAhead {
+		s.preFree = append(s.preFree, b)
+		return
+	}
+	bufpool.Put(b)
+}
+
+// takeFreeBuf pops a recycled prefetch destination (length reset), or
+// returns nil, in which case the read path draws from the shared pool.
+func (s *IStream) takeFreeBuf() []byte {
+	n := len(s.preFree)
+	if n == 0 {
+		return nil
+	}
+	b := s.preFree[n-1]
+	s.preFree[n-1] = nil
+	s.preFree = s.preFree[:n-1]
+	return b[:0]
 }
 
 // bcastBytes has node 0 read [off, off+n) and broadcast it. The broadcast
@@ -285,7 +540,9 @@ func (s *IStream) bcastBytes(off int64, n int) ([]byte, error) {
 	}
 	frame, err := s.node.Comm().Bcast(0, frame)
 	if err != nil {
-		return nil, err
+		// Transport failure: possibly rank-asymmetric, so the prefetch
+		// pipeline must not abandon on it silently (see commError).
+		return nil, &commError{err}
 	}
 	if len(frame) == 0 || frame[0] != 1 {
 		return nil, fmt.Errorf("node 0 read failed: %s", frame[1:])
@@ -371,6 +628,18 @@ func (s *IStream) Skip() error {
 	if !s.More() {
 		return s.fail(fmt.Errorf("%w: skip past last record", ErrOrder))
 	}
+	if e, ok := s.takePrefetched(); ok {
+		// Already fetched: no I/O to do, but the prefetched data dies
+		// unread.
+		s.met.prefetchWasted.Add(int64(len(e.chunk)))
+		s.retireBuf(e.chunk)
+		s.cursor = e.next
+		s.haveRec = false
+		s.elemBufs = nil
+		s.met.skips.Inc()
+		s.topUpPrefetch()
+		return nil
+	}
 	hdr, err := s.bcastBytes(s.cursor, enc.RecordHeaderLen)
 	if err != nil {
 		return s.fail(fmt.Errorf("dstream: skip record header: %w", err))
@@ -383,6 +652,7 @@ func (s *IStream) Skip() error {
 	s.haveRec = false
 	s.elemBufs = nil
 	s.met.skips.Inc()
+	s.topUpPrefetch()
 	return nil
 }
 
@@ -395,6 +665,12 @@ func (s *IStream) NextElems() (int, error) {
 	}
 	if !s.More() {
 		return 0, fmt.Errorf("%w: no next record", ErrOrder)
+	}
+	if len(s.pre) > 0 && s.pre[0].cursor == s.cursor {
+		// Peek the prefetch queue: no I/O, no communication (the queues
+		// are identical on every rank, so skipping the broadcast is
+		// collective-consistent).
+		return int(s.pre[0].meta.h.NElems), nil
 	}
 	hdr, err := s.bcastBytes(s.cursor, enc.RecordHeaderLen)
 	if err != nil {
@@ -469,6 +745,14 @@ func (s *IStream) Close() error {
 	if s.f == nil {
 		return nil
 	}
+	// Release the pipeline first: queued prefetches die unread (counted
+	// wasted) and the recycled destinations go back to the shared pool.
+	s.dropPrefetched()
+	for i, b := range s.preFree {
+		bufpool.Put(b)
+		s.preFree[i] = nil
+	}
+	s.preFree = nil
 	err := s.f.Close()
 	s.f = nil
 	bufpool.Put(s.refill)

@@ -100,6 +100,14 @@ func WithAsync() Option {
 	return func(o *Options) { o.Async = true }
 }
 
+// WithReadAhead sets the input-stream prefetch depth: up to n upcoming
+// records are fetched in the background while the consumer drains the
+// current one, so Read stalls only for the un-overlapped remainder of the
+// transfer — the read-side mirror of WithAsync. Zero disables prefetching.
+func WithReadAhead(n int) Option {
+	return func(o *Options) { o.ReadAhead = n }
+}
+
 // WithAppend opens an output stream on an existing d/stream file and adds
 // records after the ones already present instead of truncating.
 func WithAppend() Option {

@@ -200,9 +200,19 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 // refillTwoPhase is the read-side mirror: K aggregators refill
 // stripe-aligned extents of the record's data section with one large
 // parallel read each, then scatter to every rank the overlap with its
-// contiguous share [offs[starts[me]], offs[starts[me+1]]). Returns this
-// node's share, byte-identical to what the direct ParallelRead path yields.
-func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int) ([]byte, error) {
+// contiguous share [offs[starts[me]], offs[starts[me+1]]). The share is
+// assembled into dst (grown through the pool when the record outgrows it)
+// and is byte-identical to what the direct ParallelRead path yields.
+//
+// In async mode (the read-ahead pipeline) the extent read is issued
+// write-behind-style: its bytes are valid immediately in real time, the
+// returned completion is the virtual instant the disk transfer lands, and
+// the scatter's interconnect cost is charged at issue time — the mirror of
+// the write side's shuffle accounting. Sync mode returns completion 0 and
+// leaves the clock fully advanced. On error the returned buffer is
+// whatever the caller now owns (possibly dst itself); transport failures
+// carry the commError tag.
+func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int, dst []byte, async bool) ([]byte, float64, error) {
 	comm := s.node.Comm()
 	me := s.node.Rank()
 	nprocs := s.node.Size()
@@ -219,9 +229,18 @@ func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int) ([
 	if me < k {
 		rg = pfs.Range{Off: dataStart + cuts[me], Len: int(cuts[me+1] - cuts[me])}
 	}
-	ext, err := s.f.ParallelRead(rg)
+	var (
+		ext        []byte
+		completion float64
+		err        error
+	)
+	if async {
+		ext, completion, err = s.f.ParallelReadAsync(rg)
+	} else {
+		ext, err = s.f.ParallelRead(rg)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("dstream: two-phase refill: %w", err)
+		return dst, 0, fmt.Errorf("dstream: two-phase refill: %w", err)
 	}
 	if me < k {
 		s.met.extentBytes.Observe(float64(len(ext)))
@@ -253,28 +272,27 @@ func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int) ([
 	}
 	recv, err := comm.Alltoallv(bufs)
 	if err != nil {
-		return nil, fmt.Errorf("dstream: two-phase scatter: %w", err)
+		return dst, 0, &commError{fmt.Errorf("dstream: two-phase scatter: %w", err)}
 	}
 	// The extent's bytes have been copied onto the wire; release it.
 	bufpool.Put(ext)
-	// Assemble this node's share into the stream's refill scratch (grown
-	// through the pool when the record outgrows it); the previous record's
-	// decoders are invalid from here on, per the Read contract.
+	// Assemble this node's share into dst; when dst is the stream's refill
+	// scratch, the previous record's decoders are invalid from here on,
+	// per the Read contract.
 	want := rankOff[me+1] - rankOff[me]
-	chunk := s.refill[:0]
+	chunk := dst[:0]
 	if int64(cap(chunk)) < want {
-		bufpool.Put(s.refill)
+		bufpool.Put(dst)
 		chunk = bufpool.GetCap(int(want))
 	}
 	for _, p := range recv {
 		chunk = append(chunk, p...)
 		bufpool.Put(p)
 	}
-	s.refill = chunk
 	if int64(len(chunk)) != want {
-		return nil, fmt.Errorf("dstream: two-phase refill assembled %d of %d bytes", len(chunk), want)
+		return chunk, 0, fmt.Errorf("dstream: two-phase refill assembled %d of %d bytes", len(chunk), want)
 	}
 	s.met.shuffleBytes.Observe(float64(sent))
 	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
-	return chunk, nil
+	return chunk, completion, nil
 }

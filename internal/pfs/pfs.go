@@ -27,6 +27,7 @@ type FileSystem struct {
 	counters ioCounters
 	rec      *trace.Recorder
 	met      pfsMetrics
+	mon      *dsmon.Monitor
 }
 
 // pfsOpMetrics is the dsmon handle set for one operation kind. The zero
@@ -83,6 +84,23 @@ func (fs *FileSystem) SetMonitor(m *dsmon.Monitor) {
 	}
 	if r := m.Recorder(); r != nil && fs.rec == nil {
 		fs.rec = r
+	}
+	// Backends with their own instruments (e.g. the striped backend's
+	// fan-out histogram) bind to the same registry, existing and future.
+	fs.mu.Lock()
+	fs.mon = m
+	for _, f := range fs.files {
+		attachBackendMonitor(f.b, m)
+	}
+	fs.mu.Unlock()
+}
+
+// attachBackendMonitor hands the monitor to any backend layer that wants
+// instruments of its own (the striped backend's fan-out histogram). The
+// resilient wrapper forwards the call to whatever it wraps.
+func attachBackendMonitor(b Backend, m *dsmon.Monitor) {
+	if mb, ok := b.(interface{ SetMonitor(*dsmon.Monitor) }); ok {
+		mb.SetMonitor(m)
 	}
 }
 
@@ -215,6 +233,9 @@ func (fs *FileSystem) Open(name string, nprocs, rank int, clock *vtime.Clock, tr
 			return nil, fmt.Errorf("pfs: open %q: %w", name, err)
 		}
 		f = &file{name: name, b: &resilientBackend{Backend: b, fs: fs}, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		if fs.mon != nil {
+			attachBackendMonitor(f.b, fs.mon)
+		}
 		fs.files[name] = f
 	}
 	fs.mu.Unlock()
@@ -249,6 +270,9 @@ func (fs *FileSystem) InjectFault(name string, failAfter int) error {
 			return err
 		}
 		f = &file{name: name, b: &resilientBackend{Backend: b, fs: fs}, d: newDisk(fs.prof), mayTrunc: true, rdvs: make(map[uint64]*rendezvous)}
+		if fs.mon != nil {
+			attachBackendMonitor(f.b, fs.mon)
+		}
 		fs.files[name] = f
 	}
 	f.mu.Lock()
@@ -304,6 +328,27 @@ func (h *File) ReadAt(p []byte, off int64) error {
 	h.fs.counters.bytesRead.Add(int64(len(p)))
 	h.fs.met.readAt.record(int64(len(p)), start, h.clock.Now())
 	return nil
+}
+
+// ReadAtAsync is the read-ahead variant of ReadAt: the bytes are available
+// in p and the disk channel is busy until the returned completion time, but
+// the caller's clock does not advance — the transfer overlaps computation.
+// Callers must SyncTo the completion time before consuming p.
+func (h *File) ReadAtAsync(p []byte, off int64) (completion float64, err error) {
+	if h.closed {
+		return 0, fmt.Errorf("pfs: read on closed handle %q", h.f.name)
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(h.f.b, off, int64(len(p))), p); err != nil {
+		return 0, fmt.Errorf("pfs: read %q at %d: %w", h.f.name, off, err)
+	}
+	slow := h.f.b.Size() >= h.fs.prof.SlowOffset
+	start := h.clock.Now()
+	completion = h.f.d.submit(h.rank, start, int64(len(p)), false, slow)
+	h.fs.rec.Add(h.rank, "io", "ReadAtAsync "+h.f.name, start, completion)
+	h.fs.counters.independentReads.Add(1)
+	h.fs.counters.bytesRead.Add(int64(len(p)))
+	h.fs.met.readAt.record(int64(len(p)), start, completion)
+	return completion, nil
 }
 
 // Close drops the handle. The underlying image persists in the file system
@@ -446,7 +491,8 @@ func (h *File) parallelAppend(block []byte, syncClock bool) (int64, float64, err
 // leave at the same virtual time. The returned buffer is pool-backed and
 // owned by the caller (bufpool.Put when done is optional).
 func (h *File) ParallelRead(rg Range) ([]byte, error) {
-	return h.ParallelReadInto(rg, nil)
+	b, _, err := h.parallelReadInto(rg, nil, true)
+	return b, err
 }
 
 // ParallelReadInto is ParallelRead reading into the caller's buffer: when
@@ -454,7 +500,28 @@ func (h *File) ParallelRead(rg Range) ([]byte, error) {
 // steady state allocates nothing; otherwise (including dst == nil) a
 // pool-backed buffer is returned. Each rank's dst serves only its own range.
 func (h *File) ParallelReadInto(rg Range, dst []byte) ([]byte, error) {
-	r, err := h.collectNamed("ParallelRead "+h.f.name, true,
+	b, _, err := h.parallelReadInto(rg, dst, true)
+	return b, err
+}
+
+// ParallelReadAsync is the read-ahead variant of ParallelRead: the data is
+// available in the returned buffer and the disk is busy until the returned
+// completion time, but the caller's clock only advances to the rendezvous
+// point — the transfer overlaps whatever the node computes next. Callers
+// must SyncTo the completion time before consuming the bytes (an input
+// stream does this when the prefetched record is read).
+func (h *File) ParallelReadAsync(rg Range) (data []byte, completion float64, err error) {
+	return h.parallelReadInto(rg, nil, false)
+}
+
+// ParallelReadIntoAsync is ParallelReadAsync reading into the caller's
+// buffer, with ParallelReadInto's reuse contract.
+func (h *File) ParallelReadIntoAsync(rg Range, dst []byte) (data []byte, completion float64, err error) {
+	return h.parallelReadInto(rg, dst, false)
+}
+
+func (h *File) parallelReadInto(rg Range, dst []byte, syncClock bool) ([]byte, float64, error) {
+	r, err := h.collectNamed("ParallelRead "+h.f.name, syncClock,
 		func(r *rendezvous) {
 			r.ranges[h.rank] = rg
 			r.dsts[h.rank] = dst
@@ -491,9 +558,9 @@ func (h *File) ParallelReadInto(rg Range, dst []byte) ([]byte, error) {
 		},
 	)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return r.data[h.rank], nil
+	return r.data[h.rank], r.completion, nil
 }
 
 // ControlSync is a synchronizing metadata operation (the gopen/eseek-style

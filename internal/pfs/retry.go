@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"pcxxstreams/internal/dsmon"
 )
 
 // ErrTransient marks a storage fault worth retrying: a short read or write
@@ -117,6 +119,13 @@ func (rb *resilientBackend) ReadAt(p []byte, off int64) (int, error) {
 
 func (rb *resilientBackend) WriteAt(p []byte, off int64) (int, error) {
 	return retryWriteAt(rb.Backend, p, off, rb.fs.countIORetry)
+}
+
+// SetMonitor forwards the observability hookup to the wrapped backend, so
+// instrumented backends (the striped fan-out histogram) are reachable
+// through the resilient layer the file system always interposes.
+func (rb *resilientBackend) SetMonitor(m *dsmon.Monitor) {
+	attachBackendMonitor(rb.Backend, m)
 }
 
 // countIORetry accounts one storage retry in both the machine-run stats and

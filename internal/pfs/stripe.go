@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+
+	"pcxxstreams/internal/dsmon"
 )
 
 // StripedBackend scatters a file image across several child backends in
@@ -18,6 +21,26 @@ type StripedBackend struct {
 	children []Backend
 	unit     int64
 	size     int64
+	// fanoutHist, when set, observes the number of concurrent child
+	// transfers per multi-cell operation (pfs_stripe_fanout).
+	fanoutHist atomic.Pointer[dsmon.Histogram]
+}
+
+// maxStripeFanout bounds the goroutine pool of one striped operation: at
+// most this many child backends transfer concurrently, the rest of the
+// involved children queue for a slot.
+const maxStripeFanout = 8
+
+// fanoutBuckets spans 2 children (the smallest multi-child op) to wide
+// arrays.
+var fanoutBuckets = []float64{2, 3, 4, 6, 8, 12, 16, 32}
+
+// SetMonitor binds the pfs_stripe_fanout histogram in m's registry. The
+// file system calls this (through its resilient wrapper) when a monitor is
+// attached; safe to call while operations are in flight.
+func (s *StripedBackend) SetMonitor(m *dsmon.Monitor) {
+	s.fanoutHist.Store(m.Registry().Histogram("pfs_stripe_fanout",
+		"concurrent child transfers per multi-cell striped operation", fanoutBuckets))
 }
 
 // NewStripedBackend stripes across the given children with the given unit
@@ -55,7 +78,11 @@ func (s *StripedBackend) cellEnd(off int64) int64 {
 	return (off/s.unit + 1) * s.unit
 }
 
-// WriteAt implements io.WriterAt across the stripes.
+// WriteAt implements io.WriterAt across the stripes. Multi-child writes
+// transfer to the involved children concurrently; on error, zero progress
+// is reported (a concurrent fan-out has no contiguous prefix to resume
+// from) and the retry layer above re-issues the whole — idempotent —
+// operation.
 func (s *StripedBackend) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: negative offset %d", off)
@@ -66,32 +93,20 @@ func (s *StripedBackend) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	total := 0
-	for len(p) > 0 {
-		child, childOff := s.locate(off)
-		n := s.cellEnd(off) - off
-		if n > int64(len(p)) {
-			n = int64(len(p))
-		}
-		// Child writes go through the retry helper so a transient fault on
-		// one stripe device (e.g. a chaos-wrapped child) is resumed in place
-		// instead of failing the whole striped operation.
-		if _, err := retryWriteAt(s.children[child], p[:n], childOff, nil); err != nil {
-			return total, fmt.Errorf("pfs: stripe %d: %w", child, err)
-		}
-		p = p[n:]
-		off += n
-		total += int(n)
+	if err := s.fanout(p, off, true); err != nil {
+		return 0, err
 	}
+	end := off + int64(len(p))
 	s.mu.Lock()
-	if off > s.size {
-		s.size = off
+	if end > s.size {
+		s.size = end
 	}
 	s.mu.Unlock()
-	return total, nil
+	return len(p), nil
 }
 
-// ReadAt implements io.ReaderAt across the stripes.
+// ReadAt implements io.ReaderAt across the stripes, fanning multi-child
+// reads out concurrently like WriteAt.
 func (s *StripedBackend) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: negative offset %d", off)
@@ -104,23 +119,97 @@ func (s *StripedBackend) ReadAt(p []byte, off int64) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
-	total := 0
-	for int64(total) < want {
-		child, childOff := s.locate(off)
-		n := s.cellEnd(off) - off
-		if n > want-int64(total) {
-			n = want - int64(total)
-		}
-		if _, err := retryReadAt(s.children[child], p[total:total+int(n)], childOff, nil); err != nil && err != io.EOF {
-			return total, fmt.Errorf("pfs: stripe %d: %w", child, err)
-		}
-		off += n
-		total += int(n)
+	if err := s.fanout(p[:want], off, false); err != nil {
+		return 0, err
 	}
 	if int64(len(p)) > want {
-		return total, io.EOF
+		return int(want), io.EOF
 	}
-	return total, nil
+	return int(want), nil
+}
+
+// fanout moves [off, off+len(p)) between p and the child backends. An
+// operation confined to a single child runs inline; a multi-child operation
+// runs one worker per involved child (at most maxStripeFanout at a time),
+// each walking only the cells that live on its child. The workers write to
+// pairwise-disjoint sub-slices of p and share no other mutable state, so
+// the fan-out is race-free by construction; the first error wins and stops
+// the remaining workers at their next cell boundary.
+func (s *StripedBackend) fanout(p []byte, off int64, write bool) error {
+	k := len(s.children)
+	n := int64(len(p))
+	firstCell := off / s.unit
+	width := int((off+n-1)/s.unit - firstCell + 1)
+	if width > k {
+		width = k
+	}
+	if width == 1 {
+		return s.childWalk(p, off, int(firstCell%int64(k)), write, nil)
+	}
+	if h := s.fanoutHist.Load(); h != nil {
+		h.Observe(float64(width))
+	}
+	var (
+		wg    sync.WaitGroup
+		stop  atomic.Bool
+		errMu sync.Mutex
+		first error
+	)
+	sem := make(chan struct{}, maxStripeFanout)
+	for w := 0; w < width; w++ {
+		child := int((firstCell + int64(w)) % int64(k))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := s.childWalk(p, off, child, write, &stop); err != nil {
+				stop.Store(true)
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// childWalk transfers every cell of [off, off+len(p)) that lives on child,
+// in ascending offset order. Child transfers go through the retry helpers
+// so a transient fault on one stripe device (e.g. a chaos-wrapped child) is
+// resumed in place instead of failing the whole striped operation.
+func (s *StripedBackend) childWalk(p []byte, off int64, child int, write bool, stop *atomic.Bool) error {
+	k := int64(len(s.children))
+	end := off + int64(len(p))
+	firstCell := off / s.unit
+	// First cell at or after firstCell that maps to this child.
+	cell := firstCell + ((int64(child)-firstCell)%k+k)%k
+	for ; cell*s.unit < end; cell += k {
+		if stop != nil && stop.Load() {
+			return nil
+		}
+		lo := cell * s.unit
+		a, b := lo, lo+s.unit
+		if a < off {
+			a = off
+		}
+		if b > end {
+			b = end
+		}
+		childOff := (cell/k)*s.unit + (a - lo)
+		seg := p[a-off : b-off]
+		if write {
+			if _, err := retryWriteAt(s.children[child], seg, childOff, nil); err != nil {
+				return fmt.Errorf("pfs: stripe %d: %w", child, err)
+			}
+		} else if _, err := retryReadAt(s.children[child], seg, childOff, nil); err != nil && err != io.EOF {
+			return fmt.Errorf("pfs: stripe %d: %w", child, err)
+		}
+	}
+	return nil
 }
 
 // Layout implements LayoutProvider: the real stripe geometry.

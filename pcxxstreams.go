@@ -244,6 +244,10 @@ var (
 	WithFunnelThreshold = dstream.WithFunnelThreshold
 	// WithAggregators overrides the two-phase aggregator count.
 	WithAggregators = dstream.WithAggregators
+	// WithReadAhead enables the input stream's prefetch pipeline: up to n
+	// records' refills are issued in the background and Read stalls only
+	// for the un-overlapped remainder of each transfer.
+	WithReadAhead = dstream.WithReadAhead
 	// WithStreamOptions merges a pre-built StreamOptions value.
 	WithStreamOptions = dstream.WithOptions
 
