@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,17 @@ bench-twophase:
 # cells with byte-identical data.
 bench-readahead:
 	$(GO) run ./cmd/dstream-bench -readahead -readahead-json BENCH_readahead.json
+
+# The critical-path attribution sweep. Emits the grid as BENCH_critpath.json
+# and fails unless every rank's wall time is fully attributed and the
+# span-graph stall sums agree with the stall histograms within 5%.
+bench-critpath:
+	$(GO) run ./cmd/dstream-bench -critpath -critpath-json BENCH_critpath.json
+
+# Start scf-sim with the live telemetry endpoint and scrape /healthz,
+# /metrics, /trace and /critpath mid-run, verifying well-formed output.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # The allocation benchmark: real allocs/op on the pooled hot paths, emitted
 # as BENCH_alloc.json. `make alloc-check` re-measures and fails on a >10%

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	pcxx "pcxxstreams"
 	"pcxxstreams/internal/bench"
@@ -38,6 +39,9 @@ func main() {
 		twophaseJS  = flag.String("twophase-json", "", "write the two-phase ablation grid (JSON) to this file ('-' for stdout)")
 		readahead   = flag.Bool("readahead", false, "run the read-ahead prefetch ablation")
 		readaheadJS = flag.String("readahead-json", "", "write the read-ahead ablation grid (JSON) to this file ('-' for stdout)")
+		critpathF   = flag.Bool("critpath", false, "run the critical-path attribution sweep over the read-ahead grid")
+		critpathJS  = flag.String("critpath-json", "", "write the critical-path sweep (JSON) to this file ('-' for stdout)")
+		serve       = flag.String("serve", "", "serve live telemetry (/metrics /trace /critpath /healthz) on this address during the -trace/-gantt/-metrics run, and keep serving after it until Ctrl-C")
 		platforms   = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
 		scaling     = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
 		verify      = flag.Bool("verify", false, "verify data integrity after every input phase")
@@ -49,6 +53,7 @@ func main() {
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
 		!*twophase && *twophaseJS == "" && !*readahead && *readaheadJS == "" &&
+		!*critpathF && *critpathJS == "" && *serve == "" &&
 		!*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
@@ -94,7 +99,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *traceOut != "" || *gantt || *metrics || *metricsJS != "" {
+	if *traceOut != "" || *gantt || *metrics || *metricsJS != "" || *serve != "" {
 		v := map[string]bench.Variant{
 			"unbuffered": bench.Unbuffered, "manual": bench.ManualBuf, "streams": bench.Streams,
 		}[*variant]
@@ -102,6 +107,15 @@ func main() {
 		// dstream spans) and the full metric registry from the same run.
 		mon := pcxx.NewTracingMonitor()
 		rec := mon.Recorder()
+		var srv *pcxx.TelemetryServer
+		if *serve != "" {
+			var err error
+			if srv, err = pcxx.ServeTelemetry(*serve, mon); err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "dstream-bench: telemetry: http://%s\n", srv.Addr())
+		}
 		if _, err := bench.Seconds(bench.Run{
 			Profile: pcxx.Paragon(), NProcs: 4, Segments: 256, Variant: v, Monitor: mon,
 			StreamOpts: pcxx.StreamOptions{Strategy: strat},
@@ -149,6 +163,12 @@ func main() {
 			if err := mon.WriteJSON(out); err != nil {
 				fatal(err)
 			}
+		}
+		if srv != nil {
+			fmt.Fprintf(os.Stderr, "dstream-bench: run complete; telemetry stays at http://%s — Ctrl-C to exit\n", srv.Addr())
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
 		}
 	}
 
@@ -260,6 +280,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dstream-bench: read-ahead lowers the refill stall on %d of %d grid cells\n", wins, len(pts))
 	}
 
+	if *critpathF || *critpathJS != "" {
+		pts, err := bench.CritPathSweep()
+		if err != nil {
+			fatal(err)
+		}
+		if *critpathF {
+			formatCritPath(os.Stdout, pts)
+		}
+		if *critpathJS != "" {
+			out := os.Stdout
+			if *critpathJS != "-" {
+				f, err := os.Create(*critpathJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bars for the analyzer: every rank's wall time is
+		// attributed to named categories, and the span-graph stall sums agree
+		// with the independently-observed stall histograms within 5%.
+		for _, p := range pts {
+			if p.NamedFractionMin < 0.9 {
+				fatal(fmt.Errorf("critpath cell %s/%s depth %d attributes only %.1f%% of a rank's wall time",
+					p.Platform, p.Strategy, p.Depth, 100*p.NamedFractionMin))
+			}
+			if !p.Pass() {
+				fatal(fmt.Errorf("critpath cell %s/%s depth %d: span stalls (refill %.4f, shuffle %.4f) disagree with metric sums (refill %.4f, shuffle %.4f) by >5%%",
+					p.Platform, p.Strategy, p.Depth, p.RefillSpan, p.ShuffleSpan, p.RefillMetric, p.ShuffleMetric))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: critpath attribution complete and metric-consistent on all %d grid cells\n", len(pts))
+	}
+
 	if *stats {
 		if err := bench.OpProfile(os.Stdout, pcxx.Paragon(), 4, 512); err != nil {
 			fatal(err)
@@ -356,6 +416,19 @@ func formatTwoPhase(w *os.File, pts []bench.StrategyPoint) {
 		fmt.Fprintf(w, "%-10s %6d %8d %9d %7d %10.4f %10.4f %10.4f   %s\n",
 			p.Platform, p.NProcs, p.Segments, p.Particles, p.StripeFactor,
 			p.Funnel, p.Parallel, p.TwoPhase, p.Winner)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatCritPath(w *os.File, pts []bench.CritPathPoint) {
+	fmt.Fprintln(w, "Critical-path attribution sweep (virtual seconds, SCF write+read pipeline)")
+	fmt.Fprintln(w, "--------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%-10s %-9s %5s %9s %6s %6s %8s %12s %12s %12s\n",
+		"platform", "strategy", "depth", "makespan", "spans", "flows", "named%", "refill", "shuffle", "pfs wait")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %-9s %5d %9.4f %6d %6d %7.1f%% %12.4f %12.4f %12.4f\n",
+			p.Platform, p.Strategy, p.Depth, p.Makespan, p.Spans, p.Flows,
+			100*p.NamedFractionMin, p.RefillSpan, p.ShuffleSpan, p.Categories["pfs wait"])
 	}
 	fmt.Fprintln(w)
 }

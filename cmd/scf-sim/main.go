@@ -39,6 +39,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the run's dsmon metrics (Prometheus text) to stderr")
 		metricsJS = flag.String("metrics-json", "", "write the run's dsmon metrics snapshot (JSON) to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace (JSON) of the run to this file")
+		critpathF = flag.Bool("critpath", false, "print the run's critical-path attribution report to stderr")
+		serve     = flag.String("serve", "", "serve live telemetry (/metrics /trace /critpath /healthz) on this address for the run's duration (':0' picks a free port)")
 	)
 	flag.Parse()
 
@@ -66,15 +68,24 @@ func main() {
 	}
 
 	var mon *pcxx.Monitor
-	if *metrics || *metricsJS != "" || *traceOut != "" {
-		if *traceOut != "" {
+	if *metrics || *metricsJS != "" || *traceOut != "" || *critpathF || *serve != "" {
+		if *traceOut != "" || *critpathF || *serve != "" {
+			// The live endpoint and the critical-path analyzer both need the
+			// span graph, so serving implies tracing.
 			mon = pcxx.NewTracingMonitor()
 		} else {
 			mon = pcxx.NewMonitor()
 		}
 	}
 
-	cfg := pcxx.Config{NProcs: *procs, Profile: prof, FS: fs, Monitor: mon}
+	cfg := pcxx.Config{
+		NProcs: *procs, Profile: prof, FS: fs, Monitor: mon,
+		TelemetryAddr: *serve,
+		OnTelemetry: func(addr string) {
+			// Parsed by `make telemetry-smoke` — keep the format stable.
+			fmt.Printf("telemetry: http://%s\n", addr)
+		},
+	}
 	res, err := pcxx.Run(cfg, func(n *pcxx.Node) error {
 		d, err := pcxx.NewDistribution(*segments, *procs, mode, 0)
 		if err != nil {
@@ -190,6 +201,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s — open in chrome://tracing\n", *traceOut)
+	}
+	if *critpathF {
+		if err := pcxx.AnalyzeCritPath(mon.Recorder()).WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

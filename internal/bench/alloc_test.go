@@ -5,6 +5,7 @@ import (
 
 	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/comm"
+	"pcxxstreams/internal/dsmon"
 	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/vtime"
@@ -20,6 +21,7 @@ import (
 const (
 	encRoundTripBudget    = 0   // allocs/op, reused Buffer+Reader
 	inprocSendRecvBudget  = 1   // allocs/op, 1 KiB payload, receiver Puts
+	tracedSendRecvBudget  = 4   // same path with spans+flow edges recorded
 	funnelCycleBudget     = 40  // whole-machine allocs per insert+write cycle, 4 ranks
 	twoPhaseCycleBudget   = 110 // same, with the aggregation shuffle
 	readCycleBudget       = 110 // whole-machine allocs per read+extract cycle, 4 ranks
@@ -89,6 +91,50 @@ func TestInprocSendRecvAllocPin(t *testing.T) {
 	})
 	if avg > inprocSendRecvBudget {
 		t.Errorf("in-proc send/recv: %.2f allocs/op, budget %d", avg, inprocSendRecvBudget)
+	}
+}
+
+// TestTracedSendRecvAllocPin pins the cost of turning tracing ON for the
+// same hot path TestInprocSendRecvAllocPin measures with it off. Each
+// logical message records two spans (Send, Recv), one flow edge, and the
+// per-message metric updates; the budget is the committed per-span overhead.
+// The nil-monitor fast path is covered by the untraced pin above — tracing
+// must cost nothing when disabled and a bounded constant when enabled.
+func TestTracedSendRecvAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	mon := dsmon.NewTracing()
+	tr := comm.NewChanTransport(2)
+	defer tr.Close()
+	var c0, c1 vtime.Clock
+	prof := vtime.Paragon()
+	ep0 := comm.NewEndpoint(0, 2, tr, &c0, prof).SetMonitor(mon)
+	ep1 := comm.NewEndpoint(1, 2, tr, &c1, prof).SetMonitor(mon)
+	payload := make([]byte, 1024)
+	for i := 0; i < 8; i++ {
+		if err := ep0.Send(1, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ep1.Recv(0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(d)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := ep0.Send(1, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ep1.Recv(0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(d)
+	})
+	t.Logf("traced send/recv: %.2f allocs/op", avg)
+	if avg > tracedSendRecvBudget {
+		t.Errorf("traced send/recv: %.2f allocs/op, budget %d", avg, tracedSendRecvBudget)
 	}
 }
 

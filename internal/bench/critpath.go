@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/dsmon/critpath"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+// CritPathPoint is one cell of the critical-path attribution sweep: the
+// read-ahead pipeline (write phase + verified read-back) run under a tracing
+// monitor, with the span-graph attribution cross-checked against the
+// independently-observed dstream stall histograms. The gates:
+//
+//   - NamedFractionMin ≥ 0.9: every rank's wall time decomposes into named
+//     categories (the decomposition is exhaustive by construction — gaps are
+//     compute — so this checks the analyzer stayed total).
+//   - RefillSpan within 5% of RefillMetric, and (two-phase only) ShuffleSpan
+//     within 5% of ShuffleMetric: the span graph and the metric histograms
+//     observe the same intervals, so their sums must agree.
+type CritPathPoint struct {
+	Platform         string             `json:"platform"`
+	Strategy         string             `json:"strategy"`
+	Depth            int                `json:"depth"`
+	NProcs           int                `json:"nprocs"`
+	Records          int                `json:"records"`
+	Makespan         float64            `json:"makespan_seconds"`
+	Spans            int                `json:"spans"`
+	Flows            int                `json:"flows"`
+	NamedFractionMin float64            `json:"named_fraction_min"`
+	RefillSpan       float64            `json:"refill_span_seconds"`
+	RefillMetric     float64            `json:"refill_metric_seconds"`
+	ShuffleSpan      float64            `json:"shuffle_span_seconds"`
+	ShuffleMetric    float64            `json:"shuffle_metric_seconds"`
+	Categories       map[string]float64 `json:"category_seconds"`
+}
+
+// agrees reports |a-b| ≤ 5% of max(|a|,|b|) (both-zero agrees).
+func agrees(a, b float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return true
+	}
+	return math.Abs(a-b) <= 0.05*m
+}
+
+// Pass applies the cell's acceptance gates.
+func (pt CritPathPoint) Pass() bool {
+	if pt.NamedFractionMin < 0.9 {
+		return false
+	}
+	if !agrees(pt.RefillSpan, pt.RefillMetric) {
+		return false
+	}
+	return agrees(pt.ShuffleSpan, pt.ShuffleMetric)
+}
+
+// MeasureCritPath runs one traced write+read pipeline cell and analyzes its
+// span graph. The whole pipeline runs inside a single machine run so the
+// write-side shuffle stalls and the read-side refill stalls land on one
+// causal timeline.
+func MeasureCritPath(prof vtime.Profile, nprocs, segments, particles, records int,
+	strat dstream.Strategy, depth int, compute float64, stripeFactor int, unit int64) (CritPathPoint, *critpath.Report, error) {
+	pt := CritPathPoint{
+		Platform: prof.Name,
+		Strategy: strat.String(),
+		Depth:    depth,
+		NProcs:   nprocs,
+		Records:  records,
+	}
+	fs := pfs.NewFileSystem(prof, pfs.StripedMemFactory(stripeFactor, unit))
+	mon := dsmon.NewTracing()
+	_, err := machine.Run(machine.Config{NProcs: nprocs, Profile: prof, FS: fs, Monitor: mon}, func(n *machine.Node) error {
+		dw, err := distr.New(segments, nprocs, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		out, err := dstream.Open(n, dw, "scf", dstream.WithStrategy(strat))
+		if err != nil {
+			return err
+		}
+		cw, err := collection.New[scf.Segment](n, dw)
+		if err != nil {
+			return err
+		}
+		for rec := 0; rec < records; rec++ {
+			rec := rec
+			cw.Apply(func(g int, sg *scf.Segment) { sg.Fill(g+1000*rec, particles) })
+			if err := dstream.Insert[scf.Segment](out, cw); err != nil {
+				return err
+			}
+			if err := out.Write(); err != nil {
+				return err
+			}
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+
+		dr, err := distr.New(segments, nprocs, distr.Block, 0)
+		if err != nil {
+			return err
+		}
+		opts := []dstream.Option{dstream.WithStrategy(strat)}
+		if depth > 0 {
+			opts = append(opts, dstream.WithReadAhead(depth))
+		}
+		in, err := dstream.OpenInput(n, dr, "scf", opts...)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		cr, err := collection.New[scf.Segment](n, dr)
+		if err != nil {
+			return err
+		}
+		var ref scf.Segment
+		for rec := 0; rec < records; rec++ {
+			if err := in.Read(); err != nil {
+				return err
+			}
+			if err := dstream.Extract[scf.Segment](in, cr); err != nil {
+				return err
+			}
+			var bad error
+			rec := rec
+			cr.Apply(func(g int, sg *scf.Segment) {
+				if bad != nil {
+					return
+				}
+				ref.Fill(g+1000*rec, particles)
+				if !sg.Equal(&ref) {
+					bad = fmt.Errorf("record %d segment %d differs from generator", rec, g)
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+			n.Compute(compute)
+		}
+		return in.Close()
+	})
+	if err != nil {
+		return pt, nil, fmt.Errorf("bench: critpath cell: %w", err)
+	}
+
+	rep := critpath.Analyze(mon.Recorder())
+	rep.Publish(mon.Registry())
+	pt.Makespan = rep.Makespan
+	pt.Spans = rep.Spans
+	pt.Flows = rep.Flows
+	pt.NamedFractionMin = 1
+	pt.Categories = map[string]float64{}
+	for _, b := range rep.Ranks {
+		if f := b.Named(); f < pt.NamedFractionMin {
+			pt.NamedFractionMin = f
+		}
+		for c, v := range b.Seconds {
+			pt.Categories[c] += v
+		}
+	}
+	pt.RefillSpan = rep.Stalls[critpath.CatRefill]
+	pt.ShuffleSpan = rep.Stalls[critpath.CatShuffle]
+	reg := mon.Registry()
+	pt.RefillMetric = reg.Histogram("dstream_refill_stall_seconds", "", dsmon.LatencyBuckets).Sum()
+	pt.ShuffleMetric = reg.Histogram("dstream_twophase_shuffle_stall_seconds", "", dsmon.LatencyBuckets).Sum()
+	return pt, rep, nil
+}
+
+// CritPathSweep runs the attribution sweep over the read-ahead grid's
+// platforms and strategies, at prefetch depth 0 and 2, so the cells show the
+// stall attribution shifting as read-ahead hides the pfs wait.
+func CritPathSweep() ([]CritPathPoint, error) {
+	var out []CritPathPoint
+	for _, prof := range []vtime.Profile{vtime.Paragon(), vtime.CM5()} {
+		for _, strat := range []dstream.Strategy{dstream.StrategyParallel, dstream.StrategyTwoPhase} {
+			for _, depth := range []int{0, 2} {
+				pt, _, err := MeasureCritPath(prof, 4, 16, 64, 6, strat, depth, 0.02, 4, 16<<10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}

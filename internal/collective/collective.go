@@ -23,6 +23,7 @@ import (
 	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/comm"
 	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -81,8 +82,16 @@ func New(ep *comm.Endpoint) *Comm {
 // accounted under its own op label, so the histogram is a cost account
 // per primitive, not an exclusive-time decomposition.
 func (c *Comm) instrument(op string) func() {
+	f, _ := c.instrumentSpan(op)
+	return f
+}
+
+// instrumentSpan is instrument plus a pre-reserved span ID (0 when the
+// monitor does not trace) so the operation can publish causal edges that
+// reference its own span before the span's end time is known.
+func (c *Comm) instrumentSpan(op string) (func(), trace.SpanID) {
 	if c.mon == nil {
-		return func() {}
+		return func() {}, 0
 	}
 	m, ok := c.ops[op]
 	if !ok {
@@ -96,11 +105,17 @@ func (c *Comm) instrument(op string) func() {
 	}
 	m.count.Inc()
 	start := c.ep.Clock().Now()
+	rec := c.mon.Recorder()
+	id := rec.NewSpanID()
 	return func() {
 		end := c.ep.Clock().Now()
 		m.lat.Observe(end - start)
-		c.mon.Span(c.Rank(), "collective", op, start, end)
-	}
+		if rec != nil {
+			rec.AddSpanID(id, c.Rank(), "collective", op, start, end)
+		} else {
+			c.mon.Span(c.Rank(), "collective", op, start, end)
+		}
+	}, id
 }
 
 // Rank returns the caller's rank.
@@ -159,7 +174,8 @@ func (c *Comm) releaseTime(n int, size int) float64 {
 // rank leaves at the same virtual time; the Tree (dissemination) variant
 // releases ranks within O(log P) message latencies of each other.
 func (c *Comm) Barrier() error {
-	defer c.instrument("barrier")()
+	done, sid := c.instrumentSpan("barrier")
+	defer done()
 	seq := c.next()
 	n := c.Size()
 	if n == 1 {
@@ -169,11 +185,17 @@ func (c *Comm) Barrier() error {
 		return c.barrierDissemination(seq)
 	}
 	me := c.Rank()
+	// Span-level fan-in/fan-out: each rank's barrier span is linked to the
+	// root's — arrivals point at the root, releases point back out — so the
+	// causal graph shows the synchronization funnel directly, on top of the
+	// per-message edges the endpoint records underneath.
+	rec := c.mon.Recorder()
 	if me == 0 {
 		for r := 1; r < n; r++ {
 			if _, err := c.ep.Recv(r, tag(kindBarrier, seq, 0)); err != nil {
 				return fmt.Errorf("collective: barrier gather: %w", err)
 			}
+			rec.FlowIn(trace.FlowKey{Kind: "barrier-arrive", A: r, B: 0, Tag: tag(kindBarrier, seq, 0)}, sid)
 		}
 		rel := c.releaseTime(n-1, 8)
 		payload := c.timeFrame(rel)
@@ -181,6 +203,7 @@ func (c *Comm) Barrier() error {
 			if err := c.ep.Send(r, tag(kindBarrier, seq, 1), payload); err != nil {
 				return fmt.Errorf("collective: barrier release: %w", err)
 			}
+			rec.FlowOut(trace.FlowKey{Kind: "barrier-release", A: 0, B: r, Tag: tag(kindBarrier, seq, 1)}, sid)
 		}
 		c.ep.Clock().SyncTo(rel)
 		return nil
@@ -188,10 +211,12 @@ func (c *Comm) Barrier() error {
 	if err := c.ep.Send(0, tag(kindBarrier, seq, 0), nil); err != nil {
 		return fmt.Errorf("collective: barrier arrive: %w", err)
 	}
+	rec.FlowOut(trace.FlowKey{Kind: "barrier-arrive", A: me, B: 0, Tag: tag(kindBarrier, seq, 0)}, sid)
 	d, err := c.ep.Recv(0, tag(kindBarrier, seq, 1))
 	if err != nil {
 		return fmt.Errorf("collective: barrier release: %w", err)
 	}
+	rec.FlowIn(trace.FlowKey{Kind: "barrier-release", A: 0, B: me, Tag: tag(kindBarrier, seq, 1)}, sid)
 	c.ep.Clock().SyncTo(decodeTime(d))
 	bufpool.Put(d)
 	return nil

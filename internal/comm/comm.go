@@ -21,6 +21,7 @@ import (
 
 	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
 )
 
@@ -409,7 +410,7 @@ func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
 			break
 		}
 		e.mSendRetry.Inc()
-		e.clock.Advance(backoff)
+		e.backoffSpan(backoff)
 		backoff *= 2
 	}
 	if err != nil {
@@ -423,8 +424,26 @@ func (e *Endpoint) Send(to int, tag uint64, data []byte) error {
 	e.mSent.Inc()
 	e.mBytesOut.Add(int64(len(data)))
 	e.hMsgSize.Observe(float64(len(data)))
-	e.mon.Span(e.rank, "comm", "Send", start, e.clock.Now())
+	if rec := e.mon.Recorder(); rec != nil {
+		// One span and one edge per logical send, however many transport
+		// attempts it took: the edge is keyed by the sequence number, which
+		// retransmissions reuse, so the graph never doubles an edge.
+		id := rec.AddSpan(e.rank, "comm", "Send", start, e.clock.Now())
+		rec.FlowOut(trace.FlowKey{Kind: "msg", A: e.rank, B: to, Tag: tag, Seq: m.Seq}, id)
+	}
 	return nil
+}
+
+// backoffSpan charges one retry backoff to the clock and, when tracing,
+// records it as its own span so the critical-path analyzer can attribute
+// time lost to retransmission separately from useful communication.
+func (e *Endpoint) backoffSpan(backoff float64) {
+	rec := e.mon.Recorder()
+	b0 := e.clock.Now()
+	e.clock.Advance(backoff)
+	if rec != nil {
+		rec.Add(e.rank, "comm", "backoff", b0, e.clock.Now())
+	}
 }
 
 // recvOnce performs a single receive attempt, bounded by the configured
@@ -464,7 +483,7 @@ func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
 				from, tag, attempt, err)
 		}
 		e.mRecvRetry.Inc()
-		e.clock.Advance(backoff)
+		e.backoffSpan(backoff)
 		backoff *= 2
 	}
 	if err != nil {
@@ -480,7 +499,15 @@ func (e *Endpoint) Recv(from int, tag uint64) ([]byte, error) {
 	e.mRecv.Inc()
 	e.mBytesIn.Add(int64(len(m.Data)))
 	e.hRecvWait.Observe(e.clock.Now() - start)
-	e.mon.Span(e.rank, "comm", "Recv", start, e.clock.Now())
+	if rec := e.mon.Recorder(); rec != nil {
+		id := rec.AddSpan(e.rank, "comm", "Recv", start, e.clock.Now())
+		// The mailbox delivers each sequence number exactly once, so a
+		// duplicated or retransmitted message can never complete a second
+		// edge — the FlowKey below is consumed by exactly one FlowOut.
+		if m.Seq != 0 {
+			rec.FlowIn(trace.FlowKey{Kind: "msg", A: from, B: e.rank, Tag: tag, Seq: m.Seq}, id)
+		}
+	}
 	return m.Data, nil
 }
 

@@ -1,0 +1,82 @@
+package critpath_test
+
+import (
+	"strings"
+	"testing"
+
+	"pcxxstreams/internal/collection"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/dsmon/critpath"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/scf"
+	"pcxxstreams/internal/vtime"
+)
+
+// TestReportGolden pins the full text report of a small deterministic run:
+// virtual time is exact, span ordering and tie-breaks are deterministic,
+// and the category tables sort by total — so the report is byte-stable and
+// any drift in the analyzer or the instrumentation shows up here.
+func TestReportGolden(t *testing.T) {
+	mon := dsmon.NewTracing()
+	_, err := machine.Run(machine.Config{
+		NProcs: 2, Profile: vtime.Paragon(), Monitor: mon,
+	}, func(n *machine.Node) error {
+		d, err := distr.New(8, 2, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		c, err := collection.New[scf.Segment](n, d)
+		if err != nil {
+			return err
+		}
+		c.Apply(func(g int, s *scf.Segment) { s.Fill(g, 4) })
+		out, err := dstream.Open(n, d, "f", dstream.WithStrategy(dstream.StrategyFunnel))
+		if err != nil {
+			return err
+		}
+		if err := dstream.Insert[scf.Segment](out, c); err != nil {
+			return err
+		}
+		if err := out.Write(); err != nil {
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := critpath.Analyze(mon.Recorder())
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got != golden {
+		t.Fatalf("critpath report drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+const golden = `critical-path analysis: 13 spans, 3 edges, makespan 0.625473s
+
+per-rank attribution (exclusive, % of makespan):
+rank          compute       pfs wait         encode           comm    flush stall
+0               56.0%          44.0%           0.1%           0.0%           0.0%
+1               56.0%          44.0%           0.1%           0.0%           0.0%
+
+stall accounts (inclusive span sums, all ranks):
+  flush stall      0.247336s
+
+critical path (5 steps):
+  compute          0.350035s
+  pfs wait         0.274928s
+  encode           0.000400s
+  comm             0.000130s
+  node  1  pfs wait       ControlSync f                        [0.350000, 0.501405]
+  node  1  encode         ostream.Insert f                     [0.501405, 0.501805]
+  node  1  comm           Send                                 [0.501841, 0.501861]
+  node  0  comm           Recv                                 [0.501841, 0.501951]
+  node  0  pfs wait       ParallelAppend f                     [0.501951, 0.625473]
+`

@@ -104,9 +104,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			sumD, countD := s.d, s.d
 			sumD.name += "_sum"
 			countD.name += "_count"
+			// _count is the cumulative +Inf bucket, not a separate Count()
+			// load: with ranks observing concurrently, two loads could tear
+			// (count ahead of buckets or vice versa); deriving one from the
+			// other keeps each exposition internally consistent.
 			if _, err = fmt.Fprintf(w, "%s %s\n%s %d\n",
 				promName(sumD), fmtFloat(s.h.Sum()),
-				promName(countD), s.h.Count()); err != nil {
+				promName(countD), cum); err != nil {
 				return err
 			}
 			continue
@@ -193,7 +197,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case "histogram":
 			hs := HistSnap{
 				Name: s.d.name, Labels: labelMap(s.d.labels),
-				Count: s.h.Count(), Sum: s.h.Sum(),
+				Sum:     s.h.Sum(),
 				Bounds:  append([]float64(nil), s.h.bounds...),
 				Buckets: make([]int64, len(s.h.bounds)+1),
 			}
@@ -202,6 +206,10 @@ func (r *Registry) Snapshot() Snapshot {
 				cum += s.h.buckets[i].Load()
 				hs.Buckets[i] = cum
 			}
+			// Count derives from the buckets (see WritePrometheus): each
+			// bucket is monotone, so successive snapshots never show a
+			// count that disagrees with the bucket sums or goes backward.
+			hs.Count = cum
 			snap.Histograms = append(snap.Histograms, hs)
 		}
 	}
@@ -213,4 +221,132 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(r.Snapshot())
+}
+
+// quantileFromBuckets estimates the q-quantile (0 ≤ q ≤ 1) from cumulative
+// bucket counts by linear interpolation inside the containing bucket —
+// the standard Prometheus histogram_quantile estimate. The first bucket
+// interpolates from 0; values above the last bound clamp to it.
+func quantileFromBuckets(bounds []float64, cum []int64, q float64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := cum[len(cum)-1]
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: no upper bound to interpolate toward; report
+			// the largest finite bound as the best available estimate.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo, loCount := 0.0, int64(0)
+		if i > 0 {
+			lo, loCount = bounds[i-1], cum[i-1]
+		}
+		width := float64(c - loCount)
+		if width == 0 {
+			return bounds[i]
+		}
+		return lo + (bounds[i]-lo)*(rank-float64(loCount))/width
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the snapshotted distribution.
+func (s HistSnap) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Bounds, s.Buckets, q)
+}
+
+// P50 is Quantile(0.50).
+func (s HistSnap) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (s HistSnap) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (s HistSnap) P99() float64 { return s.Quantile(0.99) }
+
+// Quantile estimates the q-quantile of the live histogram from a consistent
+// cumulative-bucket snapshot.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum := make([]int64, len(h.buckets))
+	var c int64
+	for i := range h.buckets {
+		c += h.buckets[i].Load()
+		cum[i] = c
+	}
+	return quantileFromBuckets(h.bounds, cum, q)
+}
+
+// Delta returns s - prev element-wise, matching rows by (name, labels);
+// rows absent from prev pass through unchanged. Watchers use it to turn
+// successive cumulative snapshots into per-interval rates.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	ckey := func(c CounterSnap) string { return c.Name + "\x00" + renderLabelMap(c.Labels) }
+	hkey := func(h HistSnap) string { return h.Name + "\x00" + renderLabelMap(h.Labels) }
+	prevC := make(map[string]int64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevC[ckey(c)] = c.Value
+	}
+	prevH := make(map[string]HistSnap, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevH[hkey(h)] = h
+	}
+	out := Snapshot{
+		Counters:   make([]CounterSnap, len(s.Counters)),
+		Gauges:     append([]GaugeSnap{}, s.Gauges...), // gauges are levels, not cumulative
+		Histograms: make([]HistSnap, len(s.Histograms)),
+	}
+	for i, c := range s.Counters {
+		c.Value -= prevC[ckey(c)]
+		out.Counters[i] = c
+	}
+	for i, h := range s.Histograms {
+		if p, ok := prevH[hkey(h)]; ok && len(p.Buckets) == len(h.Buckets) {
+			h.Count -= p.Count
+			h.Sum -= p.Sum
+			bk := make([]int64, len(h.Buckets))
+			for j := range h.Buckets {
+				bk[j] = h.Buckets[j] - p.Buckets[j]
+			}
+			h.Buckets = bk
+		}
+		out.Histograms[i] = h
+	}
+	return out
+}
+
+// renderLabelMap renders a label map back to the sorted canonical string.
+func renderLabelMap(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, m[k])
+	}
+	return b.String()
 }

@@ -62,6 +62,13 @@ func (m *Monitor) Span(node int, cat, name string, start, end float64) {
 	m.rec.Add(node, cat, name, start, end)
 }
 
+// Tracing reports whether spans are being recorded. Instrumented hot paths
+// use it to skip span-ID allocation and causal-edge bookkeeping entirely
+// when tracing is off, keeping the disabled path allocation-free.
+func (m *Monitor) Tracing() bool {
+	return m != nil && m.rec != nil
+}
+
 // WritePrometheus renders the metrics in Prometheus text format.
 func (m *Monitor) WritePrometheus(w io.Writer) error {
 	return m.Registry().WritePrometheus(w)

@@ -1,0 +1,82 @@
+package dsmon
+
+import (
+	"sync"
+	"time"
+)
+
+// Watcher delivers periodic registry snapshots while a run is still
+// mutating the metrics, for live dashboards and the telemetry endpoint.
+// Each delivered Snapshot is a deep copy owned by the receiver — the
+// watcher never reuses or mutates a snapshot after sending it, so
+// consumers may retain snapshots across ticks and diff them with Delta.
+//
+// Delivery is lossy by design: if the consumer is slower than the tick
+// interval, intermediate snapshots are dropped rather than blocking the
+// watcher goroutine. Snapshots are internally consistent (histogram counts
+// derive from the bucket sums) and monotone between successive deliveries.
+type Watcher struct {
+	ch       chan Snapshot
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Watch starts a goroutine snapshotting the registry every interval. Call
+// Stop to end it; the snapshot channel is closed after the final snapshot,
+// so `for snap := range w.C()` terminates cleanly.
+func (r *Registry) Watch(interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &Watcher{
+		ch:   make(chan Snapshot, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(w.done)
+		defer close(w.ch)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				// One final snapshot so the consumer always observes the
+				// end-of-run totals.
+				w.offer(r.Snapshot())
+				return
+			case <-t.C:
+				w.offer(r.Snapshot())
+			}
+		}
+	}()
+	return w
+}
+
+// offer sends snap without blocking, replacing a stale undelivered
+// snapshot if the consumer has fallen behind.
+func (w *Watcher) offer(snap Snapshot) {
+	for {
+		select {
+		case w.ch <- snap:
+			return
+		default:
+		}
+		select {
+		case <-w.ch: // drop the stale one, retry
+		default:
+		}
+	}
+}
+
+// C returns the snapshot delivery channel.
+func (w *Watcher) C() <-chan Snapshot { return w.ch }
+
+// Stop ends the watcher after delivering one final snapshot, then closes
+// the channel. Safe to call more than once; blocks until the watcher
+// goroutine has exited.
+func (w *Watcher) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -40,6 +40,7 @@ package dstream
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/dsmon"
@@ -168,6 +169,18 @@ type stream struct {
 	name string
 	err  error // sticky
 	met  *streamMetrics
+	// tag keys this stream's cross-rank causal edges (shuffle/scatter
+	// rendezvous). Derived from the file name, so every rank's instance of
+	// the same logical stream computes the identical tag with no
+	// communication.
+	tag uint64
+}
+
+// streamTag hashes a stream name into the causal-edge rendezvous tag.
+func streamTag(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // streamMetrics is the dsmon handle set of one stream. Handles are

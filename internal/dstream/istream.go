@@ -9,6 +9,7 @@ import (
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/trace"
 )
 
 // IStream is an input d/stream. Records are consumed in the order they were
@@ -64,6 +65,10 @@ type prefetched struct {
 	chunk      []byte  // this rank's share (pooled; nil for an empty share)
 	issued     float64 // virtual time the prefetch was issued
 	completion float64 // virtual time the data transfer lands
+	// span is the background disk transfer's span ID (0 when not tracing):
+	// a prefetch hit links its read span to it, closing the issue→
+	// completion→consumption chain in the causal graph.
+	span trace.SpanID
 }
 
 // commError tags an error whose occurrence may differ across ranks — a
@@ -113,7 +118,7 @@ func openInput(node *machine.Node, d *distr.Distribution, name string, opts Opti
 		return nil, fmt.Errorf("dstream: open input %q: %w", name, err)
 	}
 	s := &IStream{
-		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor())},
+		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor()), tag: streamTag(name)},
 		opts:   opts,
 	}
 	// Node 0 validates the file header and broadcasts the verdict.
@@ -306,7 +311,14 @@ func (s *IStream) read(sorted bool) error {
 	if !sorted {
 		op = "istream.UnsortedRead "
 	}
-	s.met.mon.Span(s.node.Rank(), "dstream", op+s.name, start, end)
+	if rec := s.met.mon.Recorder(); rec != nil {
+		rid := rec.AddSpan(s.node.Rank(), "dstream", op+s.name, start, end)
+		if hit {
+			// Close the pipeline chain: issue → background disk transfer →
+			// the read that consumed (and possibly stalled on) it.
+			rec.AddFlow(e.span, rid, "prefetch")
+		}
+	}
 	return nil
 }
 
@@ -429,6 +441,7 @@ func (s *IStream) prefetchOne(cursor int64) (prefetched, bool) {
 			return e, false
 		}
 		e.chunk, e.completion = chunk, completion
+		e.span = s.f.LastAsyncSpan()
 	} else {
 		me := s.node.Rank()
 		lo, hi := starts[me], starts[me+1]
@@ -448,6 +461,7 @@ func (s *IStream) prefetchOne(cursor int64) (prefetched, bool) {
 			bufpool.Put(dst)
 		}
 		e.chunk, e.completion = chunk, completion
+		e.span = s.f.LastAsyncSpan()
 	}
 	return e, true
 }

@@ -8,6 +8,7 @@ import (
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/trace"
 )
 
 // OStream is an output d/stream: a per-node buffer bound to a file, into
@@ -36,6 +37,15 @@ type OStream struct {
 	encScratch  Encoder
 	arrFree     [][][]byte
 	sizeScratch []uint32
+
+	// Causal-graph state, all zero when the run is not tracing: the span
+	// IDs of the inserts encoded into the record being flushed (each gets
+	// an encode→write edge), the record flush span (reserved before the
+	// strategy runs so the shuffle can link to it), and the async disk
+	// spans the next Drain will wait on.
+	insertSpans  []trace.SpanID
+	writeSpan    trace.SpanID
+	pendingSpans []trace.SpanID
 }
 
 // Output opens an output d/stream for collections distributed by d, backed
@@ -65,7 +75,7 @@ func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Opt
 		return nil, fmt.Errorf("dstream: open output %q: %w", name, err)
 	}
 	s := &OStream{
-		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor())},
+		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor()), tag: streamTag(name)},
 		opts:   opts,
 	}
 	// Node 0 stamps (or, in append mode, validates) the file header; the
@@ -134,6 +144,7 @@ func (s *OStream) InsertFunc(fill func(local int, e *Encoder)) error {
 	if err := s.checkOpen(); err != nil {
 		return err
 	}
+	start := s.node.Clock().Now()
 	n := s.LocalLen()
 	var arr [][]byte
 	if f := len(s.arrFree); f > 0 && cap(s.arrFree[f-1]) >= n {
@@ -157,6 +168,10 @@ func (s *OStream) InsertFunc(fill func(local int, e *Encoder)) error {
 	s.met.inserts.Inc()
 	s.met.fill.Add(float64(arrBytes))
 	s.node.Compute(float64(n) * s.node.Profile().PerElemCost)
+	if rec := s.met.mon.Recorder(); rec != nil {
+		id := rec.AddSpan(s.node.Rank(), "dstream", "ostream.Insert "+s.name, start, s.node.Clock().Now())
+		s.insertSpans = append(s.insertSpans, id)
+	}
 	return nil
 }
 
@@ -176,6 +191,17 @@ func (s *OStream) Write() error {
 	start := s.node.Clock().Now()
 	nArrays := len(s.group)
 	nLocal := s.LocalLen()
+	rec := s.met.mon.Recorder()
+	if rec != nil {
+		// Reserve the flush span up front: the encode edges below and the
+		// two-phase shuffle's stripe-write edges reference it before the
+		// span's end time is known.
+		s.writeSpan = rec.NewSpanID()
+		for _, id := range s.insertSpans {
+			rec.AddFlow(id, s.writeSpan, "encode")
+		}
+		s.insertSpans = s.insertSpans[:0]
+	}
 
 	// Per-element sizes (local order) with the group's arrays interleaved.
 	if cap(s.sizeScratch) < nLocal {
@@ -235,7 +261,9 @@ func (s *OStream) Write() error {
 	s.met.writes.Inc()
 	s.met.flushBytes.Observe(float64(localBytes))
 	s.met.flushStall.Observe(end - start)
-	s.met.mon.Span(s.node.Rank(), "dstream", "ostream.Write "+s.name, start, end)
+	if rec != nil {
+		rec.AddSpanID(s.writeSpan, s.node.Rank(), "dstream", "ostream.Write "+s.name, start, end)
+	}
 	return nil
 }
 
@@ -304,6 +332,9 @@ func (s *OStream) appendRecordBlock(block []byte, what string) error {
 		if overlap := completion - s.node.Clock().Now(); overlap > 0 {
 			s.met.asyncOverlap.Observe(overlap)
 		}
+		if id := s.f.LastAsyncSpan(); id != 0 {
+			s.pendingSpans = append(s.pendingSpans, id)
+		}
 		return nil
 	}
 	if _, err := s.f.ParallelAppend(block); err != nil {
@@ -318,8 +349,15 @@ func (s *OStream) Drain() {
 	now := s.node.Clock().Now()
 	if stall := s.pending - now; stall > 0 {
 		s.met.drainStall.Observe(stall)
-		s.met.mon.Span(s.node.Rank(), "dstream", "ostream.Drain "+s.name, now, s.pending)
+		if rec := s.met.mon.Recorder(); rec != nil {
+			id := rec.AddSpan(s.node.Rank(), "dstream", "ostream.Drain "+s.name, now, s.pending)
+			// Link the drain to the async disk spans it is waiting out.
+			for _, p := range s.pendingSpans {
+				rec.AddFlow(p, id, "drain")
+			}
+		}
 	}
+	s.pendingSpans = s.pendingSpans[:0]
 	s.node.Clock().SyncTo(s.pending)
 }
 

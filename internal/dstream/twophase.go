@@ -7,6 +7,7 @@ import (
 	"pcxxstreams/internal/bufpool"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/trace"
 )
 
 // Two-phase collective buffering: instead of every rank hitting the PFS
@@ -160,8 +161,32 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 			bufpool.Put(p)
 		}
 	}
+	shuffleEnd := s.node.Clock().Now()
 	s.met.shuffleBytes.Observe(float64(sent))
-	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
+	s.met.shuffleStall.Observe(shuffleEnd - shuffleStart)
+	if rec := s.met.mon.Recorder(); rec != nil {
+		// The shuffle span covers exactly the interval shuffleStall observes,
+		// so critical-path attribution and the metric agree by construction.
+		sid := rec.AddSpan(me, "dstream", "twophase.shuffle "+s.name, shuffleStart, shuffleEnd)
+		// Cross-rank edges, contributor shuffle → aggregator stripe write:
+		// both sides derive who overlaps whom from the identical aggregation
+		// plan (rankOff × cuts), so the keys rendezvous without extra
+		// communication. The aggregator's stripe write is part of its record
+		// flush span (reserved in Write before the strategy ran).
+		seq := uint64(s.wrote)
+		for j := 0; j < k; j++ {
+			if max(lo, cuts[j]) < min(hi, cuts[j+1]) {
+				rec.FlowOut(trace.FlowKey{Kind: "shuffle", A: me, B: j, Tag: s.tag, Seq: seq}, sid)
+			}
+		}
+		if me < k {
+			for r := 0; r < nprocs; r++ {
+				if max(rankOff[r], cuts[me]) < min(rankOff[r+1], cuts[me+1]) {
+					rec.FlowIn(trace.FlowKey{Kind: "shuffle", A: r, B: me, Tag: s.tag, Seq: seq}, s.writeSpan)
+				}
+			}
+		}
+	}
 
 	if me == 0 {
 		allSizes := bufpool.GetCap(4 * s.dist.N)
@@ -292,7 +317,29 @@ func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int, ds
 	if int64(len(chunk)) != want {
 		return chunk, 0, fmt.Errorf("dstream: two-phase refill assembled %d of %d bytes", len(chunk), want)
 	}
+	shuffleEnd := s.node.Clock().Now()
 	s.met.shuffleBytes.Observe(float64(sent))
-	s.met.shuffleStall.Observe(s.node.Clock().Now() - shuffleStart)
+	s.met.shuffleStall.Observe(shuffleEnd - shuffleStart)
+	if rec := s.met.mon.Recorder(); rec != nil {
+		// Read-side mirror of the write shuffle's edges: aggregator extent
+		// scatter → consumer reassembly, keyed by the record's data offset
+		// (unique per record in the file).
+		sid := rec.AddSpan(me, "dstream", "twophase.shuffle "+s.name, shuffleStart, shuffleEnd)
+		seq := uint64(dataStart)
+		if me < k {
+			elo, ehi := cuts[me], cuts[me+1]
+			for r := 0; r < nprocs; r++ {
+				// r == me would be a self-loop on sid; skip it.
+				if r != me && max(elo, rankOff[r]) < min(ehi, rankOff[r+1]) {
+					rec.FlowOut(trace.FlowKey{Kind: "scatter", A: me, B: r, Tag: s.tag, Seq: seq}, sid)
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			if j != me && max(cuts[j], rankOff[me]) < min(cuts[j+1], rankOff[me+1]) {
+				rec.FlowIn(trace.FlowKey{Kind: "scatter", A: j, B: me, Tag: s.tag, Seq: seq}, sid)
+			}
+		}
+	}
 	return chunk, completion, nil
 }

@@ -215,7 +215,17 @@ type File struct {
 	clock  *vtime.Clock
 	seq    uint64
 	closed bool
+	// lastAsync is the span ID of the background-disk half of this rank's
+	// most recent asynchronous collective (0 when not tracing). Consumers
+	// that later wait on the completion (dstream's Drain, a prefetch hit)
+	// read it to link their wait span to the I/O that satisfied it.
+	lastAsync trace.SpanID
 }
+
+// LastAsyncSpan returns the span ID of the most recent asynchronous
+// collective's background-disk interval on this handle, 0 when the file
+// system is not tracing or no async collective has run yet.
+func (h *File) LastAsyncSpan() trace.SpanID { return h.lastAsync }
 
 // Open returns rank's handle on the named file in a group of nprocs nodes,
 // charging the platform's open latency. If trunc is true the file image is
@@ -420,13 +430,25 @@ func (h *File) collectNamed(name string, syncClock bool, fill func(r *rendezvous
 	}
 	if syncClock {
 		h.clock.SyncTo(r.completion)
+		h.fs.rec.Add(h.rank, "collective", name, arrival, r.completion)
 	} else {
 		// Still a rendezvous: nobody leaves before the last arrival (the
 		// group must agree on the file layout), but the transfer itself
 		// proceeds in the background.
 		h.clock.SyncTo(vtime.MaxOf(r.arrivals))
+		if rec := h.fs.rec; rec != nil {
+			// Async mode splits the event into the foreground issue
+			// (rendezvous) interval and the background disk interval, with
+			// an issue→completion edge between them; the disk span ID is
+			// kept on the handle so whoever later waits on the completion
+			// can link their stall to this I/O.
+			leave := h.clock.Now()
+			issue := rec.AddSpan(h.rank, "collective", name, arrival, leave)
+			disk := rec.AddSpan(h.rank, "io", name+" (async)", leave, r.completion)
+			rec.AddFlow(issue, disk, "async-io")
+			h.lastAsync = disk
+		}
 	}
-	h.fs.rec.Add(h.rank, "collective", name, arrival, r.completion)
 	return r, r.err
 }
 

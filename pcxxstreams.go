@@ -29,11 +29,13 @@ import (
 	"pcxxstreams/internal/collective"
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/dsmon/critpath"
 	"pcxxstreams/internal/dstream"
 	"pcxxstreams/internal/grid"
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/replicated"
+	"pcxxstreams/internal/telemetry"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
 )
@@ -91,6 +93,32 @@ var (
 	NewMonitor = dsmon.New
 	// NewTracingMonitor creates a monitor that also records spans.
 	NewTracingMonitor = dsmon.NewTracing
+)
+
+type (
+	// MetricsSnapshot is a consistent point-in-time copy of a monitor's
+	// metric registry (see Registry.Snapshot and Watcher).
+	MetricsSnapshot = dsmon.Snapshot
+	// MetricsWatcher delivers periodic registry snapshots on a channel
+	// mid-run (see Registry.Watch); snapshots are deep copies owned by the
+	// receiver.
+	MetricsWatcher = dsmon.Watcher
+	// CritPathReport attributes a traced run's virtual time per rank and
+	// category and extracts the critical path (see AnalyzeCritPath).
+	CritPathReport = critpath.Report
+	// TelemetryServer serves a monitor's live metrics/trace/critpath over
+	// HTTP (see ServeTelemetry; Config.TelemetryAddr serves for a run's
+	// duration automatically).
+	TelemetryServer = telemetry.Server
+)
+
+var (
+	// AnalyzeCritPath builds the critical-path attribution report from a
+	// tracing monitor's recorder.
+	AnalyzeCritPath = critpath.Analyze
+	// ServeTelemetry starts the live telemetry HTTP server (/metrics,
+	// /trace, /critpath, /healthz, /debug/vars) for a monitor.
+	ServeTelemetry = telemetry.Serve
 )
 
 // Run executes body SPMD-style on every node of the configured machine.

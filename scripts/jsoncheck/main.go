@@ -1,0 +1,24 @@
+// Command jsoncheck verifies stdin is a JSON object containing every key
+// named on the command line. A dependency-free `jq -e 'has(...)'` for the
+// telemetry smoke test.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var obj map[string]json.RawMessage
+	if err := json.NewDecoder(os.Stdin).Decode(&obj); err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck: invalid JSON:", err)
+		os.Exit(1)
+	}
+	for _, key := range os.Args[1:] {
+		if _, ok := obj[key]; !ok {
+			fmt.Fprintf(os.Stderr, "jsoncheck: missing key %q\n", key)
+			os.Exit(1)
+		}
+	}
+}

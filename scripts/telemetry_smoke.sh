@@ -1,0 +1,51 @@
+#!/bin/sh
+# Smoke-test the live telemetry endpoint: start scf-sim with -serve on a
+# free port, hit every endpoint mid-run, and verify the responses are
+# well-formed. Exercised by `make telemetry-smoke`.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill $pid 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/scf-sim" ./cmd/scf-sim
+
+# A workload long enough in real time (~5 s) to scrape mid-run.
+"$workdir/scf-sim" -procs 4 -segments 256 -steps 3000 -save-every 1 \
+    -checkpoint-every 0 -serve 127.0.0.1:0 >"$workdir/run.log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#^telemetry: http://##p' "$workdir/run.log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 $pid 2>/dev/null || { echo "telemetry-smoke: scf-sim exited before serving"; cat "$workdir/run.log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "telemetry-smoke: no telemetry address in run log"; exit 1; }
+echo "telemetry-smoke: scraping http://$addr mid-run"
+
+fail() { echo "telemetry-smoke: $1"; exit 1; }
+
+[ "$(curl -sf "http://$addr/healthz")" = "ok" ] || fail "/healthz did not answer ok"
+
+curl -sf "http://$addr/metrics" >"$workdir/metrics" || fail "/metrics failed"
+grep -q '^# TYPE ' "$workdir/metrics" || fail "/metrics has no TYPE lines"
+grep -q '^comm_messages_sent_total' "$workdir/metrics" || fail "/metrics is missing comm counters"
+
+curl -sf "http://$addr/critpath" >"$workdir/critpath" || fail "/critpath failed"
+grep -q '^critical-path analysis:' "$workdir/critpath" || fail "/critpath is not a report"
+
+curl -sf "http://$addr/critpath?format=json" | go run ./scripts/jsoncheck "makespan" ||
+    fail "/critpath?format=json is not valid JSON with a makespan"
+
+curl -sf "http://$addr/trace" | go run ./scripts/jsoncheck "traceEvents" ||
+    fail "/trace is not valid Chrome-trace JSON"
+
+curl -sf "http://$addr/debug/vars" | go run ./scripts/jsoncheck "goroutines" ||
+    fail "/debug/vars is not valid JSON"
+
+kill $pid 2>/dev/null || true
+wait $pid 2>/dev/null || true
+echo "telemetry-smoke: all endpoints well-formed"
