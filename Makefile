@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug telemetry-smoke
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug telemetry-smoke bench-scale bench-scale-full
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ bench-critpath:
 # /metrics, /trace and /critpath mid-run, verifying well-formed output.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# The runtime scale curve: real per-message wall cost of the mailbox rings
+# as the simulated machine doubles from 4 ranks up, gated at 1.5x the
+# 8-rank cell. `bench-scale` is the CI smoke (4..128, no artifact);
+# `bench-scale-full` regenerates the committed 4..1024 BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/dstream-bench -scale -scale-max 128
+
+bench-scale-full:
+	$(GO) run ./cmd/dstream-bench -scale -scale-json BENCH_scale.json
 
 # The allocation benchmark: real allocs/op on the pooled hot paths, emitted
 # as BENCH_alloc.json. `make alloc-check` re-measures and fails on a >10%

@@ -41,6 +41,9 @@ func main() {
 		readaheadJS = flag.String("readahead-json", "", "write the read-ahead ablation grid (JSON) to this file ('-' for stdout)")
 		critpathF   = flag.Bool("critpath", false, "run the critical-path attribution sweep over the read-ahead grid")
 		critpathJS  = flag.String("critpath-json", "", "write the critical-path sweep (JSON) to this file ('-' for stdout)")
+		scale       = flag.Bool("scale", false, "run the runtime scale curve (wall-clock per-message cost, 4→1024 ranks)")
+		scaleJS     = flag.String("scale-json", "", "write the scale curve (JSON) to this file ('-' for stdout)")
+		scaleMax    = flag.Int("scale-max", 1024, "largest rank count of the -scale sweep (CI smokes 128)")
 		serve       = flag.String("serve", "", "serve live telemetry (/metrics /trace /critpath /healthz) on this address during the -trace/-gantt/-metrics run, and keep serving after it until Ctrl-C")
 		platforms   = flag.Bool("platforms", false, "sweep all platforms incl. the CM-5 (extension)")
 		scaling     = flag.Bool("scaling", false, "strong-scaling sweep to 64 nodes with linear vs tree collectives (extension)")
@@ -53,7 +56,7 @@ func main() {
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
 		!*twophase && *twophaseJS == "" && !*readahead && *readaheadJS == "" &&
-		!*critpathF && *critpathJS == "" && *serve == "" &&
+		!*critpathF && *critpathJS == "" && !*scale && *scaleJS == "" && *serve == "" &&
 		!*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
 		*all = true
@@ -320,6 +323,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dstream-bench: critpath attribution complete and metric-consistent on all %d grid cells\n", len(pts))
 	}
 
+	if *scale || *scaleJS != "" {
+		pts, err := bench.ScaleSweep(*scaleMax)
+		if err != nil {
+			fatal(err)
+		}
+		if *scale {
+			formatScale(os.Stdout, pts)
+		}
+		if *scaleJS != "" {
+			out := os.Stdout
+			if *scaleJS != "-" {
+				f, err := os.Create(*scaleJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bar for the mailbox rings: the per-message wall
+		// cost must not climb past 1.5x its 8-rank value anywhere on the
+		// curve — the signature of a lock convoy or root funnel at scale.
+		if err := bench.CheckScaleCurve(pts, 1.5); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: per-message cost within 1.5x of the 8-rank baseline across all %d cells\n", len(pts))
+	}
+
 	if *stats {
 		if err := bench.OpProfile(os.Stdout, pcxx.Paragon(), 4, 512); err != nil {
 			fatal(err)
@@ -442,6 +478,19 @@ func formatReadAhead(w *os.File, pts []bench.ReadAheadPoint) {
 		fmt.Fprintf(w, "%-10s %-9s %5d %6d %8d %8d %12.4f %12.4f %6d\n",
 			p.Platform, p.Strategy, p.Depth, p.NProcs, p.Records, p.StripeFactor,
 			p.StallSync, p.StallAhead, p.PrefetchHits)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatScale(w *os.File, pts []bench.ScalePoint) {
+	fmt.Fprintln(w, "Runtime scale curve (wall-clock per-message cost, neighbor train + sharded collectives)")
+	fmt.Fprintln(w, "---------------------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%6s %9s %10s %10s %10s %8s %8s %8s\n",
+		"nprocs", "messages", "wall (s)", "µs/msg", "ringputs", "spills", "stalls", "parks")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%6d %9d %10.4f %10.3f %10d %8d %8d %8d\n",
+			p.NProcs, p.Messages, p.WallSeconds, p.PerMsgMicros,
+			p.RingPuts, p.Spills, p.FullStalls, p.ConsumerParks)
 	}
 	fmt.Fprintln(w)
 }

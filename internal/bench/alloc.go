@@ -41,6 +41,8 @@ func AllocTable() ([]AllocCell, error) {
 	cells := []AllocCell{
 		benchToCell("enc_roundtrip", benchEncRoundTrip),
 		benchToCell("comm_inproc_sendrecv", benchInprocSendRecv),
+		benchToCell("comm_ring_raw_sendrecv", benchRingRawSendRecv),
+		benchToCell("comm_ring_bulk_sendrecv", benchRingBulkSendRecv),
 	}
 	funnel, err := machineCycleAllocs(dstream.StrategyFunnel)
 	if err != nil {
@@ -124,6 +126,53 @@ func benchInprocSendRecv(b *testing.B) {
 			b.Fatal(err)
 		}
 		bufpool.Put(d)
+	}
+}
+
+// benchRingRawSendRecv is the raw transport round trip the lock-free
+// mailbox ring serves: one 256-byte eager-class message enqueued on the
+// ring fast path and drained by the receiver's poll, payload recycled
+// through the pool. No endpoint sequencing — this pins the allocation cost
+// of the ring itself (slot CAS, stage, match) at zero steady state beyond
+// the pooled payload copy.
+func benchRingRawSendRecv(b *testing.B) {
+	tr := comm.NewChanTransport(2)
+	defer tr.Close()
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send(comm.Message{From: 0, To: 1, Tag: 7, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		m, err := tr.Recv(1, 0, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(m.Data)
+	}
+}
+
+// benchRingBulkSendRecv is the same round trip in the rendezvous class: an
+// 8 KiB payload, the size band whose full-ring behavior is blocking
+// backpressure rather than an eager spill. Drained every message, the ring
+// never fills, so this pins the bulk fast path — pool get/copy/put of a
+// large class plus the ring hand-off.
+func benchRingBulkSendRecv(b *testing.B) {
+	tr := comm.NewChanTransport(2)
+	defer tr.Close()
+	payload := make([]byte, 8<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send(comm.Message{From: 0, To: 1, Tag: 8, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		m, err := tr.Recv(1, 0, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(m.Data)
 	}
 }
 

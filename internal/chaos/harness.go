@@ -33,6 +33,10 @@ type Config struct {
 	Records int
 	// Transport selects the underlying transport (chan by default).
 	Transport machine.TransportKind
+	// Fanout, when >= 2, shards the funnel collectives onto a k-ary tree
+	// (machine.Config.Fanout) — the configuration large-rank cells run, so
+	// the sharded trees face the fault schedule too.
+	Fanout int
 	// Strategy selects the d/stream collective data path for both the write
 	// and read sides of the pipeline (StrategyAuto by default), so the
 	// two-phase shuffle/scatter traffic is exposed to the fault schedule
@@ -210,6 +214,7 @@ func Reference(cfg Config) ([]byte, error) {
 		NProcs:    cfg.NProcs,
 		Profile:   vtime.Paragon(),
 		Transport: cfg.Transport,
+		Fanout:    cfg.Fanout,
 		FS:        fs,
 	}, pipeline(cfg))
 	if err != nil {
@@ -268,6 +273,7 @@ func RunSeed(cfg Config, seed int64, refImage []byte) SeedResult {
 			NProcs:    cfg.NProcs,
 			Profile:   vtime.Paragon(),
 			Transport: cfg.Transport,
+			Fanout:    cfg.Fanout,
 			FS:        fs,
 			Monitor:   mon,
 			WrapTransport: func(tr comm.Transport) comm.Transport {

@@ -170,6 +170,32 @@ func TestChaosOracleTCP(t *testing.T) {
 	reportFailures(t, rep)
 }
 
+// TestChaosOracleScale is the scale cell of the campaign: the full
+// pipeline across 64 simulated ranks with the fan-out-sharded collectives
+// — the configuration the runtime scale curve runs — under seeded fault
+// schedules. This is where a mailbox-ring bug that only shows under many
+// concurrent producers (a missed wakeup on a contended gate, a stale
+// overflow count, a close racing hundreds of enqueues) graduates from
+// torture-suite theory to a hang or corruption verdict. Fewer seeds: one
+// 64-rank pipeline costs ~16x a 4-rank one.
+func TestChaosOracleScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank oracle skipped in -short mode")
+	}
+	n := *chaosN / 20
+	if n < 8 {
+		n = 8
+	}
+	rep, err := RunSeeds(Config{NProcs: 64, Fanout: 8, Records: 1}, *chaosSeed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, rep)
+	if rep.OK == 0 {
+		t.Error("no 64-rank seed completed successfully — default rates should mostly be survivable")
+	}
+}
+
 // TestChaosBrutalRatesFailCleanly cranks the drop rate far past what the
 // retry budget absorbs: most seeds must now fail, but every failure must
 // still be clean — retry exhaustion may abort a run, never hang or corrupt

@@ -45,6 +45,9 @@ type Comm struct {
 	ep  *comm.Endpoint
 	seq uint64
 	alg Algorithm
+	// fanout, when >= 2, reshapes the funnel operations onto a k-ary tree
+	// (see shard.go). Must be set identically on every rank.
+	fanout int
 	// maxMsg, when positive, bounds one point-to-point payload inside the
 	// large-vector collectives (Alltoallv): bigger contributions travel as a
 	// framed chunk train. Must be set identically on every rank.
@@ -181,6 +184,9 @@ func (c *Comm) Barrier() error {
 	if n == 1 {
 		return nil
 	}
+	if c.sharded() {
+		return c.barrierKary(seq)
+	}
 	if c.alg == Tree {
 		return c.barrierDissemination(seq)
 	}
@@ -234,6 +240,9 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if n == 1 {
 		return data, nil
 	}
+	if c.sharded() {
+		return c.bcastKary(seq, root, data)
+	}
 	if c.alg == Tree {
 		return c.bcastTree(seq, root, data)
 	}
@@ -275,6 +284,9 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("collective: gather root %d out of range", root)
+	}
+	if c.sharded() {
+		return c.gatherKary(seq, root, data)
 	}
 	if c.Rank() != root {
 		if err := c.ep.Send(root, tag(kindGather, seq, 0), data); err != nil {
@@ -337,6 +349,9 @@ func (c *Comm) Scatterv(root int, parts [][]byte) ([]byte, error) {
 	n := c.Size()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("collective: scatterv root %d out of range", root)
+	}
+	if c.sharded() {
+		return c.scattervKary(seq, root, parts)
 	}
 	if c.Rank() == root {
 		if len(parts) != n {
@@ -539,6 +554,9 @@ func (c *Comm) Reduce(root int, v float64, op ReduceOp) (float64, error) {
 	n := c.Size()
 	if root < 0 || root >= n {
 		return 0, fmt.Errorf("collective: reduce root %d out of range", root)
+	}
+	if c.sharded() {
+		return c.reduceKary(seq, root, v, op)
 	}
 	if c.alg == Tree {
 		return c.reduceTree(seq, root, v, op)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcxxstreams/internal/bufpool"
@@ -109,59 +110,351 @@ type streamID struct {
 	tag  uint64
 }
 
-// mailbox is a matching queue shared by both transports: messages land in a
-// per-destination list; receivers scan for the first (from, tag) match.
-// For sequenced messages (Seq != 0) the mailbox is also the reassembly
-// point: next tracks the next sequence number to deliver per (from, tag)
-// stream, duplicates of already-delivered or already-queued sequence
-// numbers are discarded at put, and get refuses to hand out seq n+1 while
-// seq n is still in flight — so a transport wrapped in delay, duplication,
-// or retransmission still presents exactly-once, in-order streams.
+// mailbox is one rank's inbound message store, shared by both transports.
+// The hot path is lock-free: each sender rank gets its own bounded MPMC
+// ring (allocated lazily, so a 1024-rank machine pays only for the pairs
+// that actually talk), and an enqueue is a CAS plus a waiter check — no
+// mutex, no condition variable, no per-message channel hop. Producers that
+// must never stall (wire read loops, and any sender of a small message —
+// see eagerMaxBytes) spill to an unbounded overflow list when a ring
+// fills; in-process senders of bulk payloads instead block on the space
+// gate, so a fast producer is throttled, never dropped.
+//
+// Matching, sequencing, and reassembly live on the consumer side: the
+// receiver drains rings into per-stream pending lists under mu (touched
+// only by drainers, never by fast-path producers) and delivers the first
+// (from, tag) match. For sequenced messages (Seq != 0) the pending stage
+// is also the reassembly point: next tracks the next sequence number to
+// deliver per (from, tag) stream, duplicates of already-delivered or
+// already-staged sequence numbers are discarded as they are drained, and
+// match refuses to hand out seq n+1 while seq n is still in flight — so a
+// transport wrapped in delay, duplication, or retransmission still
+// presents exactly-once, in-order streams.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	next   map[streamID]uint64 // next seq to deliver; absent means 1
-	closed bool
+	size    int
+	ringCap int
+	rings   []atomic.Pointer[ring] // indexed by sender rank; nil until first use
+	closed  atomic.Bool
+	arrival gate // producers wake consumers: something was enqueued
+	space   gate // consumers wake producers: ring slots were freed
+	ctr     *ringCounters
+
+	// ovfBySender[s] counts sender s's messages currently in the overflow
+	// list. While it is nonzero, s's later messages must also ride the
+	// overflow — a newer message jumping back into the (now drained) ring
+	// would be staged ahead of the older spilled ones and break the
+	// per-(sender, tag) FIFO contract for unsequenced messages.
+	ovfBySender []atomic.Int32
+
+	// ovf is the unbounded MPMC fallback: out-of-range sender ranks and
+	// full-ring producers that must not block land here under a plain mutex.
+	ovf struct {
+		sync.Mutex
+		q []Message
+	}
+
+	// Matching and reassembly state, guarded by mu. In steady state only
+	// the rank's receiver goroutine takes it; a blocked producer assisting
+	// its own inbox (see putBlocking) is the other drainer.
+	mu      sync.Mutex
+	pending map[streamID][]Message // staged messages per stream, arrival order
+	next    map[streamID]uint64    // next seq to deliver; absent means 1
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{next: make(map[streamID]uint64)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+func newMailbox(size int, ctr *ringCounters) *mailbox {
+	return &mailbox{
+		size:        size,
+		ringCap:     defaultRingCap,
+		rings:       make([]atomic.Pointer[ring], size),
+		ovfBySender: make([]atomic.Int32, size),
+		ctr:         ctr,
+		pending:     make(map[streamID][]Message),
+		next:        make(map[streamID]uint64),
+	}
 }
 
-// nextSeq returns the next deliverable sequence number for a stream (1 when
-// the stream has never delivered). Callers hold mb.mu.
-func (mb *mailbox) nextSeq(k streamID) uint64 {
+// ringFor returns the sender's ring, allocating it on first use. Returns
+// nil for out-of-range sender ranks (those messages ride the overflow
+// list, preserving the old mailbox's permissiveness).
+func (mb *mailbox) ringFor(from int) *ring {
+	if from < 0 || from >= mb.size {
+		return nil
+	}
+	if r := mb.rings[from].Load(); r != nil {
+		return r
+	}
+	r := newRing(mb.ringCap)
+	if mb.rings[from].CompareAndSwap(nil, r) {
+		return r
+	}
+	return mb.rings[from].Load()
+}
+
+// nextSeqLocked returns the next deliverable sequence number for a stream
+// (1 when the stream has never delivered). Callers hold mb.mu.
+func (mb *mailbox) nextSeqLocked(k streamID) uint64 {
 	if n := mb.next[k]; n != 0 {
 		return n
 	}
 	return 1
 }
 
+// put enqueues without ever blocking: the ring when there is room, the
+// overflow list otherwise. This is the wire producers' path (a TCP read
+// loop that stalls on one full ring would head-of-line-block frames for
+// every other rank on its connection, and, transitively, the kernel
+// socket buffers its peers are writing into).
 func (mb *mailbox) put(m Message) error {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	if mb.closed {
+	if mb.closed.Load() {
 		return ErrClosed
 	}
-	if m.Seq != 0 {
-		k := streamID{m.From, m.Tag}
-		if m.Seq < mb.nextSeq(k) {
-			bufpool.Put(m.Data) // duplicate of an already-delivered message
+	if r := mb.ringFor(m.From); r != nil &&
+		mb.ovfBySender[m.From].Load() == 0 && r.tryPut(m) {
+		mb.ctr.ringPuts.Add(1)
+		mb.arrival.wake()
+		if mb.closed.Load() {
+			mb.reap() // close raced the enqueue; release anything stranded
+		}
+		return nil
+	}
+	return mb.spill(m)
+}
+
+func (mb *mailbox) spill(m Message) error {
+	mb.ovf.Lock()
+	if mb.closed.Load() {
+		// close drains the overflow after setting the flag, and does so
+		// under this lock — an append here would be stranded forever.
+		mb.ovf.Unlock()
+		return ErrClosed
+	}
+	mb.ovf.q = append(mb.ovf.q, m)
+	if m.From >= 0 && m.From < mb.size {
+		mb.ovfBySender[m.From].Add(1)
+	}
+	mb.ovf.Unlock()
+	mb.ctr.spills.Add(1)
+	mb.arrival.wake()
+	return nil
+}
+
+// eagerMaxBytes splits sends into MPI's two protocols. At or below it a
+// send is eager: a full ring spills to the unbounded overflow and the
+// sender never blocks, so fire-and-forget control traffic (barrier
+// arrivals, chunk-train frames, probe messages) cannot deadlock a program
+// that has no receiver posted yet. Above it a send is rendezvous: the
+// producer blocks on the full ring until the receiver drains it, so bulk
+// data exerts real backpressure instead of ballooning resident memory.
+const eagerMaxBytes = 4096
+
+// putBlocking enqueues for an in-process sender. A small message (see
+// eagerMaxBytes) never blocks — full rings spill to the overflow. A bulk
+// message blocks while the ring is full: the bounded ring is the
+// backpressure contract. While blocked, the sender assists — it drains its
+// own inbox's rings into the pending stage — so symmetric exchanges (two
+// ranks streaming chunk trains at each other, as Alltoallv does) free each
+// other's rings instead of deadlocking, the same progress-engine
+// discipline MPI implementations use inside blocking sends.
+func (mb *mailbox) putBlocking(m Message, own *mailbox) error {
+	if mb.closed.Load() {
+		return ErrClosed
+	}
+	r := mb.ringFor(m.From)
+	if r == nil || mb.ovfBySender[m.From].Load() > 0 {
+		// Out-of-range sender, or earlier messages from this sender are
+		// still in the overflow: follow them so per-stream order holds.
+		return mb.spill(m)
+	}
+	if r.tryPut(m) {
+		mb.finishPut()
+		return nil
+	}
+	if len(m.Data) <= eagerMaxBytes {
+		return mb.spill(m)
+	}
+	mb.ctr.fullStall.Add(1)
+	for {
+		spaceCh := mb.space.enter()
+		if r.tryPut(m) {
+			mb.space.leave()
+			mb.finishPut()
 			return nil
 		}
-		for _, q := range mb.queue {
-			if q.From == m.From && q.Tag == m.Tag && q.Seq == m.Seq {
-				bufpool.Put(m.Data) // duplicate of an already-queued message
-				return nil
+		if mb.closed.Load() {
+			mb.space.leave()
+			return ErrClosed
+		}
+		var ownCh <-chan struct{}
+		if own != nil {
+			if n := own.assist(); n > 0 {
+				mb.ctr.assists.Add(int64(n))
+			}
+			// Park on our own arrival gate too: new inbound traffic means
+			// more assisting to do (and, on a self-send, more ring space).
+			ownCh = own.arrival.enter()
+		}
+		if r.tryPut(m) { // the assist may have freed our own ring
+			if own != nil {
+				own.arrival.leave()
+			}
+			mb.space.leave()
+			mb.finishPut()
+			return nil
+		}
+		select {
+		case <-spaceCh:
+		case <-ownCh: // nil when own == nil: never fires
+		}
+		if own != nil {
+			own.arrival.leave()
+		}
+		mb.space.leave()
+		if mb.closed.Load() {
+			return ErrClosed
+		}
+	}
+}
+
+// finishPut is the post-enqueue epilogue shared by the blocking and
+// non-blocking ring paths.
+func (mb *mailbox) finishPut() {
+	mb.ctr.ringPuts.Add(1)
+	mb.arrival.wake()
+	if mb.closed.Load() {
+		mb.reap()
+	}
+}
+
+// assist drains this mailbox's rings and overflow into the pending stage
+// on behalf of a producer blocked elsewhere, returning the number of
+// messages moved. Safe from any goroutine: staging is mu-guarded and
+// delivery order per stream is unaffected (the stage preserves arrival
+// order).
+func (mb *mailbox) assist() int {
+	mb.mu.Lock()
+	n := mb.drainAllLocked()
+	mb.mu.Unlock()
+	if n > 0 {
+		mb.space.wake()
+		mb.arrival.wake()
+	}
+	return n
+}
+
+// drainRingLocked moves everything out of one sender's ring into the
+// pending stage, returning the number of slots freed. Callers hold mb.mu.
+func (mb *mailbox) drainRingLocked(from int) int {
+	if from < 0 || from >= mb.size {
+		return 0
+	}
+	r := mb.rings[from].Load()
+	if r == nil {
+		return 0
+	}
+	freed := 0
+	for {
+		m, ok := r.tryTake()
+		if !ok {
+			return freed
+		}
+		mb.stageLocked(m)
+		freed++
+	}
+}
+
+// drainOvfLocked moves the overflow list into the pending stage. Callers
+// hold mb.mu (the overflow's own lock is taken only for the swap).
+//
+// Every ring is drained first: a message spills only when its sender's
+// ring is full or that sender already has spilled messages pending, so at
+// any instant a sender's in-ring messages are older than its in-overflow
+// ones. Staging the overflow without draining the rings would let one
+// consumer's poll stage another sender's newer spilled messages ahead of
+// that sender's older in-ring ones and break per-stream FIFO.
+func (mb *mailbox) drainOvfLocked() int {
+	mb.ovf.Lock()
+	empty := len(mb.ovf.q) == 0
+	mb.ovf.Unlock()
+	if empty {
+		return 0
+	}
+	n := 0
+	for from := range mb.rings {
+		n += mb.drainRingLocked(from)
+	}
+	q := mb.takeOvf()
+	for _, m := range q {
+		mb.stageLocked(m)
+	}
+	return n + len(q)
+}
+
+// takeOvf swaps out the overflow list, clearing the per-sender stickiness
+// counts under the same lock. A producer that then observes a zero count
+// may return to the ring immediately: its spilled messages are staged (or
+// reaped) under mb.mu before any later ring drain can stage the new one,
+// so per-stream order is preserved.
+func (mb *mailbox) takeOvf() []Message {
+	mb.ovf.Lock()
+	q := mb.ovf.q
+	mb.ovf.q = nil
+	for i := range q {
+		if f := q[i].From; f >= 0 && f < mb.size {
+			mb.ovfBySender[f].Add(-1)
+		}
+	}
+	mb.ovf.Unlock()
+	return q
+}
+
+func (mb *mailbox) drainAllLocked() int {
+	n := 0
+	for from := range mb.rings {
+		n += mb.drainRingLocked(from)
+	}
+	return n + mb.drainOvfLocked()
+}
+
+// stageLocked appends one drained message to its stream's pending list,
+// discarding duplicates of already-delivered or already-staged sequence
+// numbers. Callers hold mb.mu.
+func (mb *mailbox) stageLocked(m Message) {
+	mb.ctr.takes.Add(1)
+	if m.Seq != 0 {
+		k := streamID{m.From, m.Tag}
+		if m.Seq < mb.nextSeqLocked(k) {
+			bufpool.Put(m.Data) // duplicate of an already-delivered message
+			return
+		}
+		for _, q := range mb.pending[k] {
+			if q.Seq == m.Seq {
+				bufpool.Put(m.Data) // duplicate of an already-staged message
+				return
 			}
 		}
 	}
-	mb.queue = append(mb.queue, m)
-	mb.cond.Broadcast()
-	return nil
+	k := streamID{m.From, m.Tag}
+	mb.pending[k] = append(mb.pending[k], m)
+}
+
+// matchLocked delivers the first deliverable staged message of stream k:
+// any Seq 0 message, or the sequenced message the stream's cursor is
+// waiting for (a gap holds later sequence numbers back). Callers hold
+// mb.mu. Emptied lists stay in the map so their capacity is reused —
+// steady-state delivery allocates nothing.
+func (mb *mailbox) matchLocked(k streamID) (Message, bool) {
+	list := mb.pending[k]
+	for i, m := range list {
+		if m.Seq != 0 {
+			if m.Seq != mb.nextSeqLocked(k) {
+				continue // a gap precedes this one; wait for the in-flight message
+			}
+			mb.next[k] = m.Seq + 1
+		}
+		mb.pending[k] = append(list[:i], list[i+1:]...)
+		return m, true
+	}
+	return Message{}, false
 }
 
 func (mb *mailbox) get(from int, tag uint64) (Message, error) {
@@ -169,74 +462,146 @@ func (mb *mailbox) get(from int, tag uint64) (Message, error) {
 }
 
 // getWithin is get with an optional real-time deadline (0 = wait forever).
-// The deadline is implemented with a timer that broadcasts on the condition
-// variable, so an expired waiter wakes promptly even with nothing arriving.
+// Each pass drains the sender's ring and the overflow into the pending
+// stage, attempts a match, and parks on the arrival gate when nothing is
+// deliverable; ring slots freed by the drain wake blocked producers.
 func (mb *mailbox) getWithin(from int, tag uint64, timeout time.Duration) (Message, error) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	expired := false
-	if timeout > 0 {
-		timer := time.AfterFunc(timeout, func() {
-			mb.mu.Lock()
-			expired = true
-			mb.cond.Broadcast()
-			mb.mu.Unlock()
-		})
-		defer timer.Stop()
-	}
-	for {
-		for i, m := range mb.queue {
-			if m.From != from || m.Tag != tag {
-				continue
-			}
-			if m.Seq != 0 {
-				k := streamID{from, tag}
-				if m.Seq != mb.nextSeq(k) {
-					continue // a gap precedes this one; wait for the in-flight message
-				}
-				mb.next[k] = m.Seq + 1
-			}
-			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-			return m, nil
+	k := streamID{from, tag}
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
 		}
-		if mb.closed {
+	}()
+	for {
+		if mb.closed.Load() {
 			return Message{}, ErrClosed
 		}
-		if expired {
+		m, ok := mb.poll(from, k)
+		if ok {
+			return m, nil
+		}
+		// Register on the gate, then re-check: a message published after
+		// the poll above would otherwise be woken into nobody.
+		ch := mb.arrival.enter()
+		m, ok = mb.poll(from, k)
+		if ok {
+			mb.arrival.leave()
+			return m, nil
+		}
+		if mb.closed.Load() {
+			mb.arrival.leave()
+			return Message{}, ErrClosed
+		}
+		if timeout > 0 && timer == nil {
+			timer = time.NewTimer(timeout)
+			timeoutCh = timer.C
+		}
+		mb.ctr.parks.Add(1)
+		select {
+		case <-ch:
+			mb.arrival.leave()
+		case <-timeoutCh:
+			mb.arrival.leave()
+			// One final poll: the message may have landed as the timer fired.
+			if m, ok := mb.poll(from, k); ok {
+				return m, nil
+			}
 			return Message{}, fmt.Errorf("%w: no message from %d tag %#x within %v",
 				ErrRecvTimeout, from, tag, timeout)
 		}
-		mb.cond.Wait()
 	}
 }
 
-func (mb *mailbox) close() {
+// poll drains and attempts one match, waking producers for any ring slots
+// the drain freed.
+func (mb *mailbox) poll(from int, k streamID) (Message, bool) {
 	mb.mu.Lock()
-	mb.closed = true
-	// Undelivered payloads are now unowned: no receiver will ever match them.
-	for _, m := range mb.queue {
+	freed := mb.drainRingLocked(from)
+	freed += mb.drainOvfLocked() // overflow may hold this stream's messages
+	m, ok := mb.matchLocked(k)
+	mb.mu.Unlock()
+	if freed > 0 {
+		mb.space.wake()
+	}
+	return m, ok
+}
+
+// backlog reports how many staged-but-undelivered messages the mailbox
+// holds, draining first so in-ring duplicates are resolved. Test hook.
+func (mb *mailbox) backlog() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.drainAllLocked()
+	n := 0
+	for _, l := range mb.pending {
+		n += len(l)
+	}
+	return n
+}
+
+// reap releases every undelivered payload: no receiver will ever match
+// them once the mailbox is closed. Concurrent-safe (ring takes are CAS'd,
+// the rest is locked), so close and a racing post-enqueue producer can
+// both sweep and each payload is released exactly once — by whichever
+// sweep dequeues it.
+func (mb *mailbox) reap() {
+	for i := range mb.rings {
+		r := mb.rings[i].Load()
+		if r == nil {
+			continue
+		}
+		for {
+			m, ok := r.tryTake()
+			if !ok {
+				break
+			}
+			bufpool.Put(m.Data)
+		}
+	}
+	for _, m := range mb.takeOvf() {
 		bufpool.Put(m.Data)
 	}
-	mb.queue = nil
-	mb.cond.Broadcast()
+	mb.mu.Lock()
+	for k, list := range mb.pending {
+		for _, m := range list {
+			bufpool.Put(m.Data)
+		}
+		delete(mb.pending, k)
+	}
 	mb.mu.Unlock()
+}
+
+func (mb *mailbox) close() {
+	if mb.closed.Swap(true) {
+		return
+	}
+	mb.reap()
+	mb.arrival.wake()
+	mb.space.wake()
 }
 
 // ChanTransport is the in-process transport: one mailbox per rank.
 type ChanTransport struct {
 	boxes []*mailbox
+	ctr   ringCounters
 }
 
 // NewChanTransport creates an in-process transport for n ranks.
 func NewChanTransport(n int) *ChanTransport {
 	t := &ChanTransport{boxes: make([]*mailbox, n)}
 	for i := range t.boxes {
-		t.boxes[i] = newMailbox()
+		t.boxes[i] = newMailbox(n, &t.ctr)
 	}
 	return t
 }
 
-// Send implements Transport.
+// Send implements Transport. A bulk send (payload above eagerMaxBytes) to
+// a rank whose inbound ring is full blocks until the receiver drains it
+// (backpressure, never loss); while blocked, the sender services its own
+// inbox so mutually saturated ranks free each other. Small messages are
+// eager: a full ring spills them to the overflow and Send returns at once.
 func (t *ChanTransport) Send(m Message) error {
 	if m.To < 0 || m.To >= len(t.boxes) {
 		return fmt.Errorf("comm: send to invalid rank %d (size %d)", m.To, len(t.boxes))
@@ -249,12 +614,30 @@ func (t *ChanTransport) Send(m Message) error {
 		copy(d, m.Data)
 		m.Data = d
 	}
-	if err := t.boxes[m.To].put(m); err != nil {
+	var own *mailbox
+	if m.From >= 0 && m.From < len(t.boxes) {
+		own = t.boxes[m.From]
+	}
+	if err := t.boxes[m.To].putBlocking(m, own); err != nil {
 		bufpool.Put(m.Data)
 		return err
 	}
 	return nil
 }
+
+// RingStats snapshots the transport's mailbox-path counters. Safe from
+// any goroutine, including mid-run.
+func (t *ChanTransport) RingStats() RingStats { return t.ctr.snapshot() }
+
+// ResetRingStats zeroes the mailbox-path counters (between benchmark
+// phases, for example). Safe from any goroutine.
+func (t *ChanTransport) ResetRingStats() { t.ctr.reset() }
+
+// SetMonitor exports the transport's ring counters as comm_ring_* gauges
+// on the monitor's registry. Safe to call for successive transports on a
+// long-lived monitor: the gauges always reflect the most recently bound
+// transport.
+func (t *ChanTransport) SetMonitor(m *dsmon.Monitor) { bindRingMetrics(m, &t.ctr) }
 
 // Recv implements Transport.
 func (t *ChanTransport) Recv(to, from int, tag uint64) (Message, error) {

@@ -14,7 +14,7 @@ import (
 // --- mailbox sequencing ---------------------------------------------------
 
 func TestMailboxReassemblesOutOfOrder(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(2, new(ringCounters))
 	// Seq 2 arrives first (a reordered wire); seq 1 follows.
 	mb.put(Message{From: 0, Tag: 5, Seq: 2, Data: []byte("second")})
 	mb.put(Message{From: 0, Tag: 5, Seq: 1, Data: []byte("first")})
@@ -30,7 +30,7 @@ func TestMailboxReassemblesOutOfOrder(t *testing.T) {
 }
 
 func TestMailboxDropsDuplicates(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(2, new(ringCounters))
 	mb.put(Message{From: 0, Tag: 1, Seq: 1, Data: []byte("a")})
 	mb.put(Message{From: 0, Tag: 1, Seq: 1, Data: []byte("a-dup-queued")}) // dup of a queued message
 	if m, _ := mb.get(0, 1); string(m.Data) != "a" {
@@ -41,16 +41,13 @@ func TestMailboxDropsDuplicates(t *testing.T) {
 	if m, _ := mb.get(0, 1); string(m.Data) != "b" {
 		t.Fatalf("second delivery = %q (duplicate leaked through)", m.Data)
 	}
-	mb.mu.Lock()
-	queued := len(mb.queue)
-	mb.mu.Unlock()
-	if queued != 0 {
-		t.Fatalf("%d stale duplicates left queued", queued)
+	if queued := mb.backlog(); queued != 0 {
+		t.Fatalf("%d stale duplicates left staged", queued)
 	}
 }
 
 func TestMailboxStreamsAreIndependent(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(2, new(ringCounters))
 	// A gap on one (from, tag) stream must not block a different stream.
 	mb.put(Message{From: 0, Tag: 1, Seq: 2, Data: []byte("gapped")})
 	mb.put(Message{From: 1, Tag: 1, Seq: 1, Data: []byte("other-rank")})
@@ -64,7 +61,7 @@ func TestMailboxStreamsAreIndependent(t *testing.T) {
 }
 
 func TestMailboxSeqZeroBypassesSequencing(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(2, new(ringCounters))
 	// Legacy unsequenced messages (Seq 0) are delivered as-is, duplicates
 	// included — raw transport users manage their own ordering.
 	mb.put(Message{From: 0, Tag: 9, Data: []byte("x")})
@@ -77,7 +74,7 @@ func TestMailboxSeqZeroBypassesSequencing(t *testing.T) {
 }
 
 func TestMailboxGetWithinTimesOut(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(2, new(ringCounters))
 	start := time.Now()
 	_, err := mb.getWithin(0, 1, 20*time.Millisecond)
 	if err == nil {

@@ -56,6 +56,12 @@ type Config struct {
 	// chunked transparently. Applied uniformly across the group, as the
 	// framing is part of the wire protocol.
 	MaxMsgBytes int
+	// Fanout, when >= 2, shards the funnel collectives (barrier, bcast,
+	// gather, scatterv, reduce) onto a k-ary tree so no rank handles more
+	// than Fanout+1 messages per operation — the root-funnel fix for runs
+	// past a few dozen ranks. Takes precedence over Collectives for the
+	// operations it covers. Applied uniformly across the group.
+	Fanout int
 	// WrapTransport, when non-nil, wraps the run's transport before any
 	// endpoint binds to it — the hook the chaos layer uses to inject
 	// per-message faults between the endpoints and the real transport.
@@ -192,6 +198,9 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 		if tt, ok := base.(*comm.TCPTransport); ok {
 			tt.SetMonitor(cfg.Monitor)
 		}
+		if ct, ok := base.(*comm.ChanTransport); ok {
+			ct.SetMonitor(cfg.Monitor)
+		}
 		if r := cfg.Monitor.Recorder(); r != nil && cfg.Trace == nil {
 			fs.SetRecorder(r)
 		}
@@ -219,7 +228,7 @@ func Run(cfg Config, body func(*Node) error) (Result, error) {
 		if cfg.RecvDeadline > 0 {
 			n.ep.SetRecvDeadline(cfg.RecvDeadline)
 		}
-		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives).SetMaxMsgBytes(cfg.MaxMsgBytes)
+		n.coll = collective.New(n.ep).SetAlgorithm(cfg.Collectives).SetMaxMsgBytes(cfg.MaxMsgBytes).SetFanout(cfg.Fanout)
 		nodes[r] = n
 	}
 	for r := 0; r < cfg.NProcs; r++ {
