@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead bench-alloc alloc-check race-pooldebug telemetry-smoke bench-scale bench-scale-full
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead chaos-tenants bench-alloc alloc-check race-pooldebug telemetry-smoke dstreamd-smoke bench-scale bench-scale-full
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ bench-critpath:
 # /metrics, /trace and /critpath mid-run, verifying well-formed output.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# The dstreamd self-test: an in-process daemon, concurrent tenant sessions
+# through full stream round trips, a quota breach failing cleanly, and a
+# per-tenant telemetry scrape.
+dstreamd-smoke:
+	$(GO) run ./cmd/dstreamd -smoke
 
 # The runtime scale curve: real per-message wall cost of the mailbox rings
 # as the simulated machine doubles from 4 ranks up, gated at 1.5x the
@@ -96,6 +102,13 @@ chaos-twophase:
 # Same oracle with read-ahead prefetching over a striped, fault-injected store.
 chaos-readahead:
 	$(GO) test ./internal/chaos/ -v -run TestChaosOracleReadAhead -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
+# The multi-tenant daemon oracle: ≥3 concurrent tenant programs through one
+# dstreamd over fault-injected storage and transports, with every client
+# connection severed at seeded moments mid-run. Byte-identity or clean
+# error per tenant; hangs and cross-tenant leaks fail.
+chaos-tenants:
+	$(GO) test ./internal/chaos/ -v -run 'TestTenantChaos|TestTenantsReference' -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
 
 # Short fuzz pass over the wire codec and the schema decoder (the committed
 # corpora under testdata/fuzz replay in every plain `go test` run).

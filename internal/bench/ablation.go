@@ -106,7 +106,7 @@ func AblationInterleave(prof vtime.Profile, nprocs, segments int) (interleaved, 
 					return err
 				}
 				n.Clock().Reset()
-				s, err := dstream.Output(n, d, "il")
+				s, err := dstream.Open(n, d, "il")
 				if err != nil {
 					return err
 				}
@@ -183,7 +183,7 @@ func AblationFlushGranularity(prof vtime.Profile, nprocs, segments int, records 
 				return err
 			}
 			n.Clock().Reset()
-			s, err := dstream.Output(n, d, "fg")
+			s, err := dstream.Open(n, d, "fg")
 			if err != nil {
 				return err
 			}
@@ -283,7 +283,7 @@ func AblationAsyncOverlap(prof vtime.Profile, nprocs, segments, rounds int, comp
 					return err
 				}
 				n.Clock().Reset()
-				s, err := dstream.OutputOpts(n, d, "ck", dstream.Options{Async: asyncMode})
+				s, err := dstream.Open(n, d, "ck", dstream.WithOptions(dstream.Options{Async: asyncMode}))
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// reportTenantFailures logs every non-OK tenant verdict and fails the test
+// on any forbidden outcome (hang or corruption — corruption includes reading
+// another tenant's bytes, which cannot reproduce the tenant's seeded fill).
+// Clean errors are permitted: reconnect and retry budgets are finite.
+func reportTenantFailures(t *testing.T, rep TenantsReport) {
+	t.Helper()
+	for _, sr := range rep.Results {
+		if sr.Worst == OutcomeOK {
+			continue
+		}
+		for i, o := range sr.Outcomes {
+			if o != OutcomeOK {
+				var err error
+				if sr.Errs != nil {
+					err = sr.Errs[i]
+				}
+				t.Logf("seed %d tenant %d: %s: %v", sr.Seed, i, o, err)
+			}
+		}
+	}
+	t.Logf("campaign: %d ok, %d clean errors, %d corruptions, %d hangs over %d seeds (%d all-OK); %d connection cuts",
+		rep.OK, rep.CleanErrors, rep.Corruptions, rep.Hangs, len(rep.Results), rep.SeedsAllOK, rep.Disconnects)
+	if rep.Hangs != 0 {
+		t.Fatalf("%d tenant run(s) hung — the daemon lost progress under faults and disconnects", rep.Hangs)
+	}
+	if rep.Corruptions != 0 {
+		t.Fatalf("%d tenant run(s) read corrupt or foreign bytes", rep.Corruptions)
+	}
+}
+
+// TestTenantChaosOracle is the multi-tenant acceptance campaign: at least
+// three tenant programs concurrently write and read streams through one
+// dstreamd whose storage and transports run seeded fault schedules, while a
+// chopper severs every client connection at seeded moments mid-run. All
+// tenants share one file NAME, so namespace isolation is verified in-band:
+// every byte a tenant reads must reproduce its own seeded fill, which
+// another tenant's bytes cannot. Each tenant ends byte-identical to its
+// fault-free reference or with a clean error; a hang or a cross-tenant leak
+// fails the suite.
+func TestTenantChaosOracle(t *testing.T) {
+	// Multi-tenant seeds pay for a real TCP daemon plus three machines, so
+	// the campaign runs half the flat oracle's seed count — but never below
+	// the 100-seed acceptance floor.
+	n := *chaosN / 2
+	if n < 100 {
+		n = 100
+	}
+	if testing.Short() {
+		n = 20
+	}
+	rep, err := RunTenantsSeeds(TenantsConfig{}, *chaosSeed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportTenantFailures(t, rep)
+	if rep.SeedsAllOK == 0 {
+		t.Error("no seed completed with every tenant OK — default rates should mostly be survivable")
+	}
+	if rep.Disconnects == 0 {
+		t.Error("the chopper never landed a connection cut — reconnect path untested")
+	}
+	// The campaign must provably have exercised both fault planes: storage
+	// faults under the daemon and transport faults inside tenant machines.
+	for _, k := range pfsKinds {
+		if rep.Injects["pfs:"+k] == 0 {
+			t.Errorf("no seed injected pfs fault %q under the daemon", k)
+		}
+	}
+	var comm int64
+	for _, k := range commKinds {
+		comm += rep.Injects["comm:"+k]
+	}
+	if comm == 0 {
+		t.Error("no seed injected any transport fault inside a tenant machine")
+	}
+	t.Logf("injections: %v", rep.Injects)
+}
+
+// TestTenantChaosDisconnectStorm cranks the chopper: many seeded cuts per
+// run against sessions with a tight reconnect budget. Most runs may fail —
+// but every failure must be clean, on every rank of every tenant; a session
+// that hangs waiting for a connection that will never resume fails here.
+func TestTenantChaosDisconnectStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disconnect storm skipped in -short mode")
+	}
+	rep, err := RunTenantsSeeds(TenantsConfig{
+		Disconnects:     12,
+		ReconnectBudget: 2 * time.Second,
+	}, *chaosSeed, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportTenantFailures(t, rep)
+	if rep.Disconnects == 0 {
+		t.Error("storm campaign landed no connection cuts")
+	}
+}
+
+// TestTenantsReferenceDistinct: the per-tenant fault-free references are
+// pairwise distinct — the precondition for the shared-file-name isolation
+// oracle. If two tenants' references coincided, a cross-tenant leak between
+// them would be invisible.
+func TestTenantsReferenceDistinct(t *testing.T) {
+	refs, err := TenantsReference(TenantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		if len(refs[i]) == 0 {
+			t.Fatalf("tenant %d reference image is empty", i)
+		}
+		for j := i + 1; j < len(refs); j++ {
+			if string(refs[i]) == string(refs[j]) {
+				t.Fatalf("tenants %d and %d have identical reference images — isolation oracle is blind", i, j)
+			}
+		}
+	}
+}

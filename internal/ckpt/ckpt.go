@@ -65,7 +65,7 @@ func (m *Manager) Save(epoch uint64, d *distr.Distribution, write func(*dstream.
 	}
 
 	// 2. Write the checkpoint data through a d/stream.
-	s, err := dstream.Output(m.node, d, m.slotFile(slot))
+	s, err := dstream.Open(m.node, d, m.slotFile(slot))
 	if err != nil {
 		return fmt.Errorf("ckpt: open slot %d: %w", slot, err)
 	}
@@ -202,7 +202,7 @@ func Restore(node *machine.Node, base string, slots int, d *distr.Distribution, 
 	if !ok {
 		return 0, fmt.Errorf("ckpt: no valid checkpoint under %q", base)
 	}
-	s, err := dstream.Input(node, d, slot.File)
+	s, err := dstream.OpenInput(node, d, slot.File)
 	if err != nil {
 		return 0, fmt.Errorf("ckpt: open %s: %w", slot.File, err)
 	}

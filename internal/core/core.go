@@ -60,18 +60,6 @@ var (
 	// WithAsync makes output writes write-behind.
 	WithAsync = dstream.WithAsync
 
-	// Output opens an output d/stream.
-	//
-	// Deprecated: use Open.
-	Output = dstream.Output
-	// OutputOpts opens an output d/stream with options.
-	//
-	// Deprecated: use Open with functional options.
-	OutputOpts = dstream.OutputOpts
-	// Input opens an input d/stream.
-	//
-	// Deprecated: use OpenInput.
-	Input = dstream.Input
 )
 
 // Sentinel errors.

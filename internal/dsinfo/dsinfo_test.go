@@ -33,7 +33,7 @@ func writeSample(t *testing.T, nprocs, n int) []byte {
 				return err
 			}
 			c.Apply(func(g int, e *elem) { e.V = make([]float64, g%5) })
-			s, err := dstream.Output(nd, d, "f")
+			s, err := dstream.Open(nd, d, "f")
 			if err != nil {
 				return err
 			}

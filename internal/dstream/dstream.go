@@ -91,8 +91,8 @@ const DefaultFunnelThreshold = 4096
 
 // Options tune a stream; the zero value gives the paper's defaults.
 // Prefer building them through Open/OpenInput's functional options; the
-// struct remains exported for the deprecated OutputOpts/InputOpts
-// constructors.
+// struct remains exported for WithOptions (wholesale migration of a
+// pre-built value) and for tools that enumerate settings.
 type Options struct {
 	// Strategy selects the collective data path. StrategyAuto (the zero
 	// value) defers to the legacy Meta policy and the funnel-threshold
@@ -136,6 +136,12 @@ type Options struct {
 	// prefetching; prefetched records a consumer skips are counted as
 	// wasted bytes and their buffers recycled.
 	ReadAhead int
+	// FS overrides the file system the stream's file is opened on. Nil (the
+	// default) uses the machine's own file system (machine.Config.FS). A
+	// session with a dstreamd daemon injects its remote-backed file system
+	// here — see the session package — so embedded and remote streams share
+	// every code path above the pfs.Backend seam.
+	FS *pfs.FileSystem
 }
 
 func (o Options) funnelThreshold() int {

@@ -87,7 +87,7 @@ func writePlists(n *machine.Node, d *distr.Distribution, name string, opts Optio
 		return err
 	}
 	c.Apply(func(g int, e *plist) { *e = mkPlist(g) })
-	s, err := OutputOpts(n, d, name, opts)
+	s, err := Open(n, d, name, WithOptions(opts))
 	if err != nil {
 		return err
 	}
@@ -104,7 +104,7 @@ func readPlists(n *machine.Node, d *distr.Distribution, name string, sorted bool
 	if err != nil {
 		return nil, err
 	}
-	s, err := Input(n, d, name)
+	s, err := OpenInput(n, d, name)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +280,7 @@ func TestInterleaving(t *testing.T) {
 			return err
 		}
 		c.Apply(func(g int, e *seg) { e.count = int64(g); e.dens = float64(g) / 2 })
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -321,7 +321,7 @@ func TestInterleaving(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -381,7 +381,7 @@ func TestMultipleRecords(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Output(n, d, "multi")
+		s, err := Open(n, d, "multi")
 		if err != nil {
 			return err
 		}
@@ -407,7 +407,7 @@ func TestMultipleRecords(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Input(n, d, "multi")
+		s, err := OpenInput(n, d, "multi")
 		if err != nil {
 			return err
 		}
@@ -444,7 +444,7 @@ func TestWriteWithoutInsertRejected(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -463,7 +463,7 @@ func TestExtractBeforeReadRejected(t *testing.T) {
 		if err := writePlists(n, d, "f", Options{}); err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -486,7 +486,7 @@ func TestTooManyExtractsRejected(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -511,7 +511,7 @@ func TestReadPastEndRejected(t *testing.T) {
 		if err := writePlists(n, d, "f", Options{}); err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -533,7 +533,7 @@ func TestCloseWithUnwrittenInserts(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -555,7 +555,7 @@ func TestUseAfterCloseRejected(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -577,7 +577,7 @@ func TestStickyError(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -606,7 +606,7 @@ func TestInputRejectsNonStreamFile(t *testing.T) {
 		}
 		f.Close()
 		d := mustLocal(t, 4, 2, distr.Block, 0)
-		if _, err := Input(n, d, "junk"); err == nil {
+		if _, err := OpenInput(n, d, "junk"); err == nil {
 			return fmt.Errorf("non-stream file accepted")
 		}
 		return nil
@@ -618,7 +618,7 @@ func TestInputRejectsMissingFile(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		if _, err := Input(n, d, "absent"); err == nil {
+		if _, err := OpenInput(n, d, "absent"); err == nil {
 			return fmt.Errorf("missing file accepted")
 		}
 		return nil
@@ -633,7 +633,7 @@ func TestElementCountMismatchRejected(t *testing.T) {
 			return err
 		}
 		rd := mustLocal(t, 12, 2, distr.Block, 0) // wrong N
-		s, err := Input(n, rd, "f")
+		s, err := OpenInput(n, rd, "f")
 		if err != nil {
 			return err
 		}
@@ -654,7 +654,7 @@ func TestMisalignedCollectionRejected(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Output(n, sd, "f")
+		s, err := Open(n, sd, "f")
 		if err != nil {
 			return err
 		}
@@ -814,7 +814,7 @@ func TestZeroSizeElements(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 2, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 6, 2, distr.Cyclic, 0)
-		s, err := Output(n, d, "f")
+		s, err := Open(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -832,7 +832,7 @@ func TestZeroSizeElements(t *testing.T) {
 		if err := s.Close(); err != nil {
 			return err
 		}
-		in, err := Input(n, d, "f")
+		in, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -876,10 +876,10 @@ func TestOutputValidation(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 2, fs, func(n *machine.Node) error {
 		wrong := mustDist(t, 8, 3, distr.Block, 0) // 3 procs on 2-node machine
-		if _, err := Output(n, wrong, "f"); err == nil {
+		if _, err := Open(n, wrong, "f"); err == nil {
 			return fmt.Errorf("wrong-procs output accepted")
 		}
-		if _, err := Input(n, wrong, "f"); err == nil {
+		if _, err := OpenInput(n, wrong, "f"); err == nil {
 			return fmt.Errorf("wrong-procs input accepted")
 		}
 		return nil

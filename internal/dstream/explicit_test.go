@@ -88,7 +88,7 @@ func TestGrid2DRoundTrip(t *testing.T) {
 			i, j := g2.Coords(g)
 			e.V = float64(i*100 + j)
 		})
-		s, err := Output(n, g2.Dist(), "grid")
+		s, err := Open(n, g2.Dist(), "grid")
 		if err != nil {
 			return err
 		}
@@ -107,7 +107,7 @@ func TestGrid2DRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(n, rd, "grid")
+		in, err := OpenInput(n, rd, "grid")
 		if err != nil {
 			return err
 		}

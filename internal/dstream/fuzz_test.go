@@ -112,7 +112,7 @@ func fuzzOnce(t *testing.T, seed int64) {
 			if err != nil {
 				return err
 			}
-			s, err := Output(n, wd, "fuzz")
+			s, err := Open(n, wd, "fuzz")
 			if err != nil {
 				return err
 			}
@@ -144,7 +144,7 @@ func fuzzOnce(t *testing.T, seed int64) {
 			if err != nil {
 				return err
 			}
-			in, err := Input(n, rd, "fuzz")
+			in, err := OpenInput(n, rd, "fuzz")
 			if err != nil {
 				return err
 			}
@@ -211,7 +211,7 @@ func TestFuzzUnsortedConsumesExactBytes(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				s, err := Output(n, d, "bytes")
+				s, err := Open(n, d, "bytes")
 				if err != nil {
 					return err
 				}
@@ -227,7 +227,7 @@ func TestFuzzUnsortedConsumesExactBytes(t *testing.T) {
 					return err
 				}
 
-				in, err := Input(n, d, "bytes")
+				in, err := OpenInput(n, d, "bytes")
 				if err != nil {
 					return err
 				}
@@ -278,9 +278,9 @@ func TestFuzzOptionCombos(t *testing.T) {
 								if err != nil {
 									return err
 								}
-								s, err := OutputOpts(nd, d, "combo", Options{
+								s, err := Open(nd, d, "combo", WithOptions(Options{
 									Meta: meta, Async: async, Append: phase == 1,
-								})
+								}))
 								if err != nil {
 									return err
 								}
@@ -302,7 +302,7 @@ func TestFuzzOptionCombos(t *testing.T) {
 							if err != nil {
 								return err
 							}
-							in, err := InputOpts(nd, d, "combo", Options{Strict: strict})
+							in, err := OpenInput(nd, d, "combo", WithOptions(Options{Strict: strict}))
 							if err != nil {
 								return err
 							}

@@ -90,30 +90,16 @@ func isCommErr(err error) bool {
 	return errors.As(err, &ce)
 }
 
-// Input opens an input d/stream for collections distributed by d, backed by
-// the named file. Note that d describes the *reader's* layout; the writer's
-// layout is discovered from the file itself (§4.1: "no information about
-// the distribution or size of the data to be read needs to be passed to the
-// library by the programmer").
-//
-// Deprecated: use OpenInput.
-func Input(node *machine.Node, d *distr.Distribution, name string) (*IStream, error) {
-	return openInput(node, d, name, Options{})
-}
-
-// InputOpts opens an input d/stream with an explicit Options struct.
-//
-// Deprecated: use OpenInput with functional options.
-func InputOpts(node *machine.Node, d *distr.Distribution, name string, opts Options) (*IStream, error) {
-	return openInput(node, d, name, opts)
-}
-
 // openInput is the collective open every input constructor funnels into.
+// Note that d describes the *reader's* layout; the writer's layout is
+// discovered from the file itself (§4.1: "no information about the
+// distribution or size of the data to be read needs to be passed to the
+// library by the programmer").
 func openInput(node *machine.Node, d *distr.Distribution, name string, opts Options) (*IStream, error) {
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
-	f, err := node.Open(name, false)
+	f, err := openFile(node, opts, name, false)
 	if err != nil {
 		return nil, fmt.Errorf("dstream: open input %q: %w", name, err)
 	}

@@ -39,11 +39,11 @@ func TestMultipleStreamsOneFile(t *testing.T) {
 		}
 		cb.Apply(func(g int, e *big) { e.W = float64(g) / 4 })
 
-		sSmall, err := Output(n, dSmall, file)
+		sSmall, err := Open(n, dSmall, file)
 		if err != nil {
 			return err
 		}
-		sBig, err := Output(n, dBig, file)
+		sBig, err := Open(n, dBig, file)
 		if err != nil {
 			return err
 		}
@@ -84,12 +84,12 @@ func TestMultipleStreamsOneFile(t *testing.T) {
 			return err
 		}
 
-		inSmall, err := Input(n, dSmall, file)
+		inSmall, err := OpenInput(n, dSmall, file)
 		if err != nil {
 			return err
 		}
 		defer inSmall.Close()
-		inBig, err := Input(n, dBig, file)
+		inBig, err := OpenInput(n, dBig, file)
 		if err != nil {
 			return err
 		}
@@ -168,7 +168,7 @@ func TestSkipPastEndRejected(t *testing.T) {
 		if err := writePlists(n, d, "f", Options{}); err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -189,7 +189,7 @@ func TestSkipInvalidatesPendingExtracts(t *testing.T) {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
 		// Two records.
 		if err := func() error {
-			s, err := Output(n, d, "f")
+			s, err := Open(n, d, "f")
 			if err != nil {
 				return err
 			}
@@ -206,7 +206,7 @@ func TestSkipInvalidatesPendingExtracts(t *testing.T) {
 		}(); err != nil {
 			return err
 		}
-		s, err := Input(n, d, "f")
+		s, err := OpenInput(n, d, "f")
 		if err != nil {
 			return err
 		}
@@ -243,7 +243,7 @@ func TestAlignedCollectionRoundTrip(t *testing.T) {
 			return err
 		}
 		c.Apply(func(g int, e *plist) { *e = mkPlist(g) })
-		s, err := Output(nd, wd, "aligned")
+		s, err := Open(nd, wd, "aligned")
 		if err != nil {
 			return err
 		}
@@ -267,7 +267,7 @@ func TestAlignedCollectionRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(nd, rd, "aligned")
+		in, err := OpenInput(nd, rd, "aligned")
 		if err != nil {
 			return err
 		}
@@ -324,7 +324,7 @@ func TestStrictMode(t *testing.T) {
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
 		// Two records, two arrays each.
-		s, err := Output(n, d, "strict")
+		s, err := Open(n, d, "strict")
 		if err != nil {
 			return err
 		}
@@ -342,7 +342,7 @@ func TestStrictMode(t *testing.T) {
 			return err
 		}
 
-		in, err := InputOpts(n, d, "strict", Options{Strict: true})
+		in, err := OpenInput(n, d, "strict", WithStrict())
 		if err != nil {
 			return err
 		}
@@ -362,7 +362,7 @@ func TestStrictMode(t *testing.T) {
 	// Close path.
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		in, err := InputOpts(n, d, "strict", Options{Strict: true})
+		in, err := OpenInput(n, d, "strict", WithStrict())
 		if err != nil {
 			return err
 		}
@@ -378,7 +378,7 @@ func TestStrictMode(t *testing.T) {
 	// Fully extracted: strict mode is satisfied.
 	run(t, 1, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 4, 1, distr.Block, 0)
-		in, err := InputOpts(n, d, "strict", Options{Strict: true})
+		in, err := OpenInput(n, d, "strict", WithStrict())
 		if err != nil {
 			return err
 		}
@@ -415,7 +415,7 @@ func TestAsyncWriteCorrectness(t *testing.T) {
 				return err
 			}
 			c.Apply(func(g int, e *plist) { *e = mkPlist(g) })
-			s, err := OutputOpts(n, d, "async", Options{Async: async})
+			s, err := Open(n, d, "async", WithOptions(Options{Async: async}))
 			if err != nil {
 				return err
 			}
@@ -472,7 +472,7 @@ func TestEmptyCollectionRoundTrip(t *testing.T) {
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 3, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 0, 3, distr.Block, 0)
-		s, err := Output(n, d, "empty")
+		s, err := Open(n, d, "empty")
 		if err != nil {
 			return err
 		}
@@ -485,7 +485,7 @@ func TestEmptyCollectionRoundTrip(t *testing.T) {
 		if err := s.Close(); err != nil {
 			return err
 		}
-		in, err := Input(n, d, "empty")
+		in, err := OpenInput(n, d, "empty")
 		if err != nil {
 			return err
 		}
@@ -513,7 +513,7 @@ func TestAppendMode(t *testing.T) {
 	writeRun := func(runIdx int, opts Options) {
 		run(t, 2, fs, func(n *machine.Node) error {
 			d := mustLocal(t, 6, 2, distr.Cyclic, 0)
-			s, err := OutputOpts(n, d, "history", opts)
+			s, err := Open(n, d, "history", WithOptions(opts))
 			if err != nil {
 				return err
 			}
@@ -532,7 +532,7 @@ func TestAppendMode(t *testing.T) {
 
 	run(t, 2, fs, func(n *machine.Node) error {
 		d := mustLocal(t, 6, 2, distr.Cyclic, 0)
-		in, err := Input(n, d, "history")
+		in, err := OpenInput(n, d, "history")
 		if err != nil {
 			return err
 		}
@@ -574,7 +574,7 @@ func TestAppendToNonStreamRejected(t *testing.T) {
 		}
 		f.Close()
 		d := mustLocal(t, 4, 2, distr.Block, 0)
-		_, err = OutputOpts(n, d, "junk2", Options{Append: true})
+		_, err = Open(n, d, "junk2", WithAppend())
 		if err == nil {
 			return fmt.Errorf("append to non-stream accepted")
 		}

@@ -5,6 +5,7 @@ import (
 
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
 )
 
 // Strategy selects the collective data path a stream uses to move record
@@ -136,6 +137,22 @@ func WithAggregators(k int) Option {
 // the struct-literal constructors.
 func WithOptions(opts Options) Option {
 	return func(o *Options) { *o = opts }
+}
+
+// WithFileSystem opens the stream's file on fs instead of the machine's own
+// file system — the hook a daemon session uses to point a stream at remote
+// storage. All ranks of the collective open must name the same file system.
+func WithFileSystem(fs *pfs.FileSystem) Option {
+	return func(o *Options) { o.FS = fs }
+}
+
+// openFile resolves the stream's file: the injected file system when one is
+// set, the machine's otherwise.
+func openFile(node *machine.Node, opts Options, name string, trunc bool) (*pfs.File, error) {
+	if opts.FS != nil {
+		return opts.FS.Open(name, node.Size(), node.Rank(), node.Clock(), trunc)
+	}
+	return node.Open(name, trunc)
 }
 
 // buildOptions folds a functional-option list over the zero value.

@@ -48,29 +48,13 @@ type OStream struct {
 	pendingSpans []trace.SpanID
 }
 
-// Output opens an output d/stream for collections distributed by d, backed
-// by the named file, with default options.
-//
-// Deprecated: use Open.
-func Output(node *machine.Node, d *distr.Distribution, name string) (*OStream, error) {
-	return openOutput(node, d, name, Options{})
-}
-
-// OutputOpts opens an output d/stream with an explicit Options struct.
-//
-// Deprecated: use Open with functional options (or WithOptions to migrate a
-// struct literal wholesale).
-func OutputOpts(node *machine.Node, d *distr.Distribution, name string, opts Options) (*OStream, error) {
-	return openOutput(node, d, name, opts)
-}
-
 // openOutput is the collective open every output constructor funnels into.
 // Every node of the machine must make the matching call.
 func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Options) (*OStream, error) {
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
-	f, err := node.Open(name, !opts.Append)
+	f, err := openFile(node, opts, name, !opts.Append)
 	if err != nil {
 		return nil, fmt.Errorf("dstream: open output %q: %w", name, err)
 	}

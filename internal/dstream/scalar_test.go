@@ -66,7 +66,7 @@ func TestEveryScalarFieldRoundTrip(t *testing.T) {
 			return err
 		}
 		c.Apply(func(g int, e *everyScalar) { *e = want[g] })
-		s, err := Output(nd, d, "scalars")
+		s, err := Open(nd, d, "scalars")
 		if err != nil {
 			return err
 		}
@@ -101,7 +101,7 @@ func TestEveryScalarFieldRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(nd, d, "scalars")
+		in, err := OpenInput(nd, d, "scalars")
 		if err != nil {
 			return err
 		}
@@ -157,7 +157,7 @@ func TestInt64SliceFieldRoundTrip(t *testing.T) {
 				e.V = append(e.V, int64(g*100+i))
 			}
 		})
-		s, err := Output(nd, d, "i64s")
+		s, err := Open(nd, d, "i64s")
 		if err != nil {
 			return err
 		}
@@ -174,7 +174,7 @@ func TestInt64SliceFieldRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(nd, d, "i64s")
+		in, err := OpenInput(nd, d, "i64s")
 		if err != nil {
 			return err
 		}

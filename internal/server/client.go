@@ -1,0 +1,560 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pcxxstreams/internal/pfs"
+)
+
+// ErrClientClosed reports use of a client after Close (or after a failed
+// reconnect exhausted its budget and broke the session for good).
+var ErrClientClosed = errors.New("dstreamd: client closed")
+
+// ClientConfig shapes one client session.
+type ClientConfig struct {
+	// Tenant is the namespace to authenticate into. Required.
+	Tenant string
+	// ReconnectBudget is the total real time a broken connection is retried
+	// before the session fails permanently with a clean error. Default 15 s.
+	ReconnectBudget time.Duration
+	// ReconnectPause is the delay between redial attempts. Default 20 ms.
+	ReconnectPause time.Duration
+	// Token resumes a previous session instead of admitting a new one.
+	// Normally left empty; reconnects within one Client resume implicitly.
+	Token string
+}
+
+// statusError is a permanent server-reported failure, tagged with its wire
+// status so callers can errors.Is against the exported sentinels.
+type statusError struct {
+	status uint8
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func (e *statusError) Is(target error) bool {
+	switch e.status {
+	case statusQuota:
+		return target == ErrQuota
+	case statusAuth:
+		return target == ErrUnknownTenant
+	case statusBusy:
+		return target == ErrBusy
+	}
+	return false
+}
+
+// call is one in-flight request: the full frame payload (kept for an
+// idempotent resend after reconnect) and the reply channel.
+type call struct {
+	req  []byte
+	done chan reply
+}
+
+type reply struct {
+	status uint8
+	rd     *reader
+	err    error // client-side failure (session broken); status invalid
+}
+
+// Client is one tenant session with a dstreamd daemon: it multiplexes
+// concurrent requests onto a single TCP connection, enforces the granted
+// write window client-side, and transparently reconnects — resuming the
+// same server-side session by token and resending every in-flight request
+// (requests are idempotent by construction, see the package doc).
+//
+// Clients are safe for concurrent use; a session's streams on many machine
+// ranks share one Client.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	window *byteSem // granted write window (client-side credit accounting)
+	eager  int      // eager/rendezvous split granted at hello
+
+	mu      sync.Mutex
+	conn    net.Conn
+	gen     int // bumps on every successful reconnect
+	token   string
+	quota   int64
+	used    int64
+	nextID  uint64
+	pending map[uint64]*call
+	broken  error // non-nil once the session is permanently dead
+
+	wmu sync.Mutex // serializes frame writes to the current conn
+}
+
+// Dial connects to a daemon at addr and opens a session for cfg.Tenant.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Tenant == "" {
+		return nil, fmt.Errorf("dstreamd: ClientConfig.Tenant is required")
+	}
+	if cfg.ReconnectBudget <= 0 {
+		cfg.ReconnectBudget = 15 * time.Second
+	}
+	if cfg.ReconnectPause <= 0 {
+		cfg.ReconnectPause = 20 * time.Millisecond
+	}
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg,
+		token:   cfg.Token,
+		pending: make(map[uint64]*call),
+	}
+	conn, err := c.dialOnce()
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	go c.readLoop(conn, c.gen)
+	return c, nil
+}
+
+// dialOnce dials and performs the hello handshake on a fresh connection.
+// It updates the session grants (token, window, eager split) on success.
+func (c *Client) dialOnce() (net.Conn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	tok := c.token
+	c.mu.Unlock()
+	req := putU8(putU64(nil, 0), opHello)
+	req = putStr(req, c.cfg.Tenant)
+	req = putStr(req, tok)
+	if err := writeFrame(conn, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := &reader{b: frame}
+	r.u64() // id 0
+	status := r.u8()
+	if status != statusOK {
+		msg := r.str()
+		conn.Close()
+		return nil, &statusError{status: status, msg: msg}
+	}
+	token := r.str()
+	window := r.i64()
+	quota := r.i64()
+	used := r.i64()
+	r.u8() // resumed flag (informational)
+	eager := r.u32()
+	if r.err != nil {
+		conn.Close()
+		return nil, r.err
+	}
+	c.mu.Lock()
+	c.token = token
+	c.quota, c.used = quota, used
+	c.eager = int(eager)
+	if c.window == nil {
+		// Granted once at the first hello; reconnects keep the outstanding
+		// credit state (in-flight resends still hold their reservations).
+		c.window = newByteSem(window)
+	}
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// eagerLimit reads the hello-granted eager threshold.
+func (c *Client) eagerLimit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eager
+}
+
+// Token returns the session resume token granted at hello.
+func (c *Client) Token() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// Close says goodbye (best effort) and tears the session down. In-flight
+// requests fail with ErrClientClosed. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.broken != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.broken = ErrClientClosed
+	conn := c.conn
+	id := c.nextID
+	c.nextID++
+	calls := c.takeCallsLocked()
+	c.mu.Unlock()
+
+	if conn != nil {
+		// Tell the server the session ends now (frees its admission slot
+		// without waiting out the grace window); ignore failures — the
+		// janitor reclaims the slot eventually either way.
+		c.wmu.Lock()
+		writeFrame(conn, putU8(putU64(nil, id), opBye)) //nolint:errcheck
+		c.wmu.Unlock()
+		conn.Close()
+	}
+	for _, cl := range calls {
+		cl.done <- reply{err: ErrClientClosed}
+	}
+	if c.window != nil {
+		c.window.close()
+	}
+	return nil
+}
+
+// takeCallsLocked drains the pending map; caller holds c.mu.
+func (c *Client) takeCallsLocked() []*call {
+	calls := make([]*call, 0, len(c.pending))
+	for id, cl := range c.pending {
+		calls = append(calls, cl)
+		delete(c.pending, id)
+	}
+	return calls
+}
+
+// readLoop delivers responses for one connection generation; on connection
+// failure it hands off to reconnect.
+func (c *Client) readLoop(conn net.Conn, gen int) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			c.reconnect(conn, gen)
+			return
+		}
+		r := &reader{b: frame}
+		id := r.u64()
+		status := r.u8()
+		if r.err != nil {
+			c.reconnect(conn, gen)
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if cl != nil {
+			cl.done <- reply{status: status, rd: r}
+		}
+	}
+}
+
+// reconnect redials within the budget, resumes the session by token, and
+// resends every in-flight request on the new connection. Single-flight by
+// construction: only the readLoop of the current generation gets here, and
+// it runs at most once per generation.
+func (c *Client) reconnect(dead net.Conn, gen int) {
+	dead.Close()
+	c.mu.Lock()
+	if c.broken != nil || gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(c.cfg.ReconnectBudget)
+	for {
+		conn, err := c.dialOnce()
+		if err == nil {
+			c.mu.Lock()
+			if c.broken != nil {
+				// Close raced the redial; don't resurrect the session.
+				c.mu.Unlock()
+				conn.Close()
+				return
+			}
+			c.conn = conn
+			c.gen++
+			newGen := c.gen
+			resend := make([]*call, 0, len(c.pending))
+			for _, cl := range c.pending {
+				resend = append(resend, cl)
+			}
+			c.mu.Unlock()
+			go c.readLoop(conn, newGen)
+			// Resend in-flight requests; they are idempotent (same bytes,
+			// same offsets, same names), so a request the server already
+			// executed just executes again to the same effect.
+			c.wmu.Lock()
+			for _, cl := range resend {
+				if writeFrame(conn, cl.req) != nil {
+					break // next readLoop generation will reconnect again
+				}
+			}
+			c.wmu.Unlock()
+			return
+		}
+		var se *statusError
+		if errors.As(err, &se) {
+			// The server refused the resume outright (auth/busy): permanent.
+			c.fail(err)
+			return
+		}
+		if time.Now().After(deadline) {
+			c.fail(fmt.Errorf("dstreamd: reconnect budget exhausted: %w", err))
+			return
+		}
+		time.Sleep(c.cfg.ReconnectPause)
+	}
+}
+
+// fail breaks the session permanently with a clean error.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = err
+	calls := c.takeCallsLocked()
+	c.mu.Unlock()
+	for _, cl := range calls {
+		cl.done <- reply{err: err}
+	}
+	if c.window != nil {
+		c.window.close()
+	}
+}
+
+// roundTrip sends one request (op + body) and waits for its response.
+func (c *Client) roundTrip(op uint8, body func(b []byte) []byte) (reply, error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return reply{}, err
+	}
+	id := c.nextID
+	c.nextID++
+	req := body(putU8(putU64(nil, id), op))
+	cl := &call{req: req, done: make(chan reply, 1)}
+	c.pending[id] = cl
+	conn := c.conn
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		// Kick the readLoop into reconnecting; the request stays pending and
+		// is resent on the next connection.
+		conn.Close()
+	}
+	rep := <-cl.done
+	if rep.err != nil {
+		return reply{}, rep.err
+	}
+	return rep, nil
+}
+
+// decodeErr maps a non-OK status to the error the pfs layer expects:
+// transient faults re-wrap pfs.ErrTransient so the client file system's
+// retry machinery absorbs them; everything else is permanent.
+func decodeErr(status uint8, msg string) error {
+	switch status {
+	case statusTransient:
+		return fmt.Errorf("%w: %s", pfs.ErrTransient, msg)
+	case statusQuota, statusAuth, statusBusy:
+		return &statusError{status: status, msg: msg}
+	default:
+		return errors.New(msg)
+	}
+}
+
+// Usage reports the tenant's reserved bytes and quota as of now.
+func (c *Client) Usage() (used, quota int64, err error) {
+	rep, err := c.roundTrip(opUsage, func(b []byte) []byte { return b })
+	if err != nil {
+		return 0, 0, err
+	}
+	if rep.status != statusOK {
+		return 0, 0, decodeErr(rep.status, rep.rd.str())
+	}
+	used = rep.rd.i64()
+	quota = rep.rd.i64()
+	return used, quota, rep.rd.err
+}
+
+// OpenBackend opens (or creates) the named file in the session's tenant
+// namespace and returns it as a pfs.Backend + pfs.LayoutProvider: the
+// remote daemon becomes just another storage device under the client-side
+// file system, with the server's stripe geometry visible to the two-phase
+// aggregation planner.
+func (c *Client) OpenBackend(name string) (pfs.Backend, error) {
+	rep, err := c.roundTrip(opOpen, func(b []byte) []byte { return putStr(b, name) })
+	if err != nil {
+		return nil, err
+	}
+	if rep.status != statusOK {
+		return nil, decodeErr(rep.status, rep.rd.str())
+	}
+	rep.rd.i64() // current size (informational; Size() re-queries)
+	unit := rep.rd.i64()
+	factor := rep.rd.u32()
+	if rep.rd.err != nil {
+		return nil, rep.rd.err
+	}
+	return &remoteFile{
+		c:      c,
+		name:   name,
+		layout: pfs.Layout{StripeUnit: unit, StripeFactor: int(factor)},
+	}, nil
+}
+
+// Factory adapts the session to a pfs.BackendFactory, the seam the whole
+// integration hangs on: pfs.NewFileSystem(profile, client.Factory()) yields
+// a file system whose storage lives in the daemon.
+func (c *Client) Factory() pfs.BackendFactory {
+	return func(name string) (pfs.Backend, error) { return c.OpenBackend(name) }
+}
+
+// remoteFile is one daemon-resident file exposed as a pfs.Backend. Large
+// transfers are chunked so credit accounting stays fine-grained and no
+// single frame monopolizes the connection.
+type remoteFile struct {
+	c      *Client
+	name   string
+	layout pfs.Layout
+}
+
+var _ pfs.LayoutProvider = (*remoteFile)(nil)
+
+// Layout reports the server-side stripe geometry.
+func (f *remoteFile) Layout() pfs.Layout { return f.layout }
+
+// Close is a no-op: the file's lifetime is the session's, and many files
+// share one session (the Client owns the connection).
+func (f *remoteFile) Close() error { return nil }
+
+// Size queries the current file size. Backend.Size has no error return, so
+// a dead session reports 0 — harmless, because every subsequent transfer on
+// the dead session fails with the real (clean) error.
+func (f *remoteFile) Size() int64 {
+	rep, err := f.c.roundTrip(opSize, func(b []byte) []byte { return putStr(b, f.name) })
+	if err != nil || rep.status != statusOK {
+		return 0
+	}
+	return rep.rd.i64()
+}
+
+// Truncate resizes the file (and the tenant's quota reservation).
+func (f *remoteFile) Truncate(size int64) error {
+	rep, err := f.c.roundTrip(opTrunc, func(b []byte) []byte {
+		return putI64(putStr(b, f.name), size)
+	})
+	if err != nil {
+		return err
+	}
+	if rep.status != statusOK {
+		return decodeErr(rep.status, rep.rd.str())
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt against the daemon, chunk by chunk.
+func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		got, err := f.readChunk(p[total:total+n], off+int64(total))
+		total += got
+		if err != nil {
+			return total, err
+		}
+		if got < n {
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+func (f *remoteFile) readChunk(p []byte, off int64) (int, error) {
+	rep, err := f.c.roundTrip(opRead, func(b []byte) []byte {
+		return putU32(putI64(putStr(b, f.name), off), uint32(len(p)))
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch rep.status {
+	case statusOK:
+		return copy(p, rep.rd.bytes()), rep.rd.err
+	case statusEOF:
+		return copy(p, rep.rd.bytes()), io.EOF
+	case statusTransient:
+		msg := rep.rd.str()
+		return copy(p, rep.rd.bytes()), fmt.Errorf("%w: %s", pfs.ErrTransient, msg)
+	default:
+		return 0, decodeErr(rep.status, rep.rd.str())
+	}
+}
+
+// WriteAt implements io.WriterAt against the daemon. Bulk chunks acquire
+// window credits first (the eager/rendezvous split from the comm layer:
+// small control-sized writes sail through, large data reserves bandwidth),
+// so one session cannot flood the daemon beyond its granted window.
+func (f *remoteFile) WriteAt(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		wrote, err := f.writeChunk(p[total:total+n], off+int64(total))
+		total += wrote
+		if err != nil {
+			return total, err
+		}
+		if wrote < n {
+			return total, io.ErrShortWrite
+		}
+	}
+	return total, nil
+}
+
+func (f *remoteFile) writeChunk(p []byte, off int64) (int, error) {
+	if len(p) > f.c.eagerLimit() && f.c.window != nil {
+		if err := f.c.window.acquire(int64(len(p))); err != nil {
+			// The window only closes when the session breaks; report the
+			// session's real error, not the semaphore's.
+			f.c.mu.Lock()
+			if f.c.broken != nil {
+				err = f.c.broken
+			}
+			f.c.mu.Unlock()
+			return 0, err
+		}
+		defer f.c.window.release(int64(len(p)))
+	}
+	rep, err := f.c.roundTrip(opWrite, func(b []byte) []byte {
+		return putBytes(putI64(putStr(b, f.name), off), p)
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch rep.status {
+	case statusOK:
+		return int(rep.rd.u32()), rep.rd.err
+	case statusTransient:
+		msg := rep.rd.str()
+		return int(rep.rd.u32()), fmt.Errorf("%w: %s", pfs.ErrTransient, msg)
+	default:
+		return 0, decodeErr(rep.status, rep.rd.str())
+	}
+}

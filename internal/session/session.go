@@ -1,0 +1,186 @@
+// Package session is the session-scoped entry point of the d/stream API:
+// one handle through which streams are opened, whether the storage is the
+// process-local simulated file system (the embedded-library path every
+// program used before dstreamd existed) or a tenant namespace inside a
+// remote dstreamd daemon.
+//
+// The two paths share every code path above the pfs.Backend seam — the same
+// functional options, the same collective strategies, the same resilience
+// machinery — so a program moves from embedded to daemon-backed storage by
+// changing one line:
+//
+//	sess := session.Local()                          // embedded (default)
+//	sess, err := session.Connect(addr, "tenant-a")   // remote dstreamd
+//
+//	s, err := sess.Open(node, d, "particles", dstream.WithAsync())
+//
+// Remote sessions should run the machine through Session.Run (or set
+// machine.Config.FS to Session.FS themselves): the machine aborts its
+// configured file system when a node fails, and only a file system the
+// machine knows about gets that abort — otherwise surviving ranks could
+// block forever in a collective-open rendezvous against the daemon.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/server"
+	"pcxxstreams/internal/vtime"
+)
+
+// Session scopes stream opens to one storage domain. The zero-value-like
+// local session (Local) opens on the machine's own file system; a connected
+// session (Connect) opens in a dstreamd tenant namespace. Sessions are safe
+// for concurrent use by all ranks of a machine run.
+type Session struct {
+	client *server.Client
+
+	mu sync.Mutex
+	fs *pfs.FileSystem
+}
+
+// local is the embedded session: no daemon, no private file system.
+var local = &Session{}
+
+// Local returns the process-local session: streams open on the machine's
+// own file system (machine.Config.FS), exactly as before sessions existed.
+func Local() *Session { return local }
+
+// defaultSession is what the façade's package-level Open/OpenInput route
+// through; Local unless SetDefault pointed it elsewhere.
+var defaultSession atomic.Pointer[Session]
+
+// Default returns the session package-level opens route through.
+func Default() *Session {
+	if s := defaultSession.Load(); s != nil {
+		return s
+	}
+	return local
+}
+
+// SetDefault points the package-level one-line API at sess (nil restores
+// Local), so an existing embedded program becomes daemon-backed without
+// touching its open sites. Returns the previous default.
+func SetDefault(sess *Session) *Session {
+	prev := defaultSession.Swap(sess)
+	if prev == nil {
+		return local
+	}
+	return prev
+}
+
+// Connect opens a session with the dstreamd daemon at addr, authenticating
+// into the named tenant. The connection transparently reconnects and
+// resumes the server-side session after transient network failures;
+// exhausted reconnect budgets surface as clean errors on every stream
+// operation in flight.
+func Connect(addr, tenant string) (*Session, error) {
+	return ConnectConfig(addr, server.ClientConfig{Tenant: tenant})
+}
+
+// ConnectConfig is Connect with explicit client tuning (reconnect budget,
+// session resume token).
+func ConnectConfig(addr string, cfg server.ClientConfig) (*Session, error) {
+	cli, err := server.Dial(addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("session: connect %s: %w", addr, err)
+	}
+	return &Session{client: cli}, nil
+}
+
+// Remote reports whether the session is backed by a daemon.
+func (s *Session) Remote() bool { return s.client != nil }
+
+// Close ends the session. For a remote session this says goodbye to the
+// daemon (freeing its admission slot immediately) and fails any in-flight
+// operations with a clean error; the local session is a no-op. Idempotent.
+func (s *Session) Close() error {
+	if s.client == nil {
+		return nil
+	}
+	return s.client.Close()
+}
+
+// Usage reports the tenant's reserved bytes and configured quota. The local
+// session reports zeros (no quota regime).
+func (s *Session) Usage() (used, quota int64, err error) {
+	if s.client == nil {
+		return 0, 0, nil
+	}
+	return s.client.Usage()
+}
+
+// Token returns the daemon-granted resume token ("" for local sessions);
+// pass it through ClientConfig.Token to resume the session from a new
+// process within the daemon's grace window.
+func (s *Session) Token() string {
+	if s.client == nil {
+		return ""
+	}
+	return s.client.Token()
+}
+
+// FS returns the session's file system under the given cost profile,
+// building it on first use: a remote session's storage lives in the daemon
+// (every file a pfs.Backend speaking the wire protocol), while the local
+// session has none of its own (returns nil — the machine's file system is
+// already the right one). One file system is built per session; the first
+// caller's profile wins, which is harmless because all ranks of a run share
+// one profile.
+func (s *Session) FS(prof vtime.Profile) *pfs.FileSystem {
+	if s.client == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fs == nil {
+		s.fs = pfs.NewFileSystem(prof, s.client.Factory())
+	}
+	return s.fs
+}
+
+// Run executes body on a machine wired to the session: for remote sessions
+// the session's file system becomes the machine's (machine.Config.FS), so
+// node.Open, dstream opens, and — critically — the machine's failure abort
+// all act on the daemon-backed storage. Local sessions run unchanged.
+func (s *Session) Run(cfg machine.Config, body func(*machine.Node) error) (machine.Result, error) {
+	if s.client != nil {
+		if cfg.FS != nil {
+			return machine.Result{}, fmt.Errorf("session: Run with both a remote session and an explicit machine.Config.FS")
+		}
+		cfg.FS = s.FS(cfg.Profile)
+	}
+	return machine.Run(cfg, body)
+}
+
+// Open opens an output d/stream in the session's storage domain, with the
+// same functional options as the embedded API. Collective: every rank of
+// the machine must make the matching call on the same session.
+func (s *Session) Open(node *machine.Node, d *distr.Distribution, name string, opts ...dstream.Option) (*dstream.OStream, error) {
+	return dstream.Open(node, d, name, s.withFS(node, opts)...)
+}
+
+// OpenInput opens an input d/stream in the session's storage domain.
+func (s *Session) OpenInput(node *machine.Node, d *distr.Distribution, name string, opts ...dstream.Option) (*dstream.IStream, error) {
+	return dstream.OpenInput(node, d, name, s.withFS(node, opts)...)
+}
+
+// withFS appends the session's file-system option after the caller's, so it
+// wins over a stray WithOptions carrying a stale FS. When the machine is
+// already running on the session's file system (Session.Run), the option is
+// redundant but harmless — it names the same *pfs.FileSystem.
+func (s *Session) withFS(node *machine.Node, opts []dstream.Option) []dstream.Option {
+	if s.client == nil {
+		return opts
+	}
+	fs := s.FS(node.Profile())
+	out := make([]dstream.Option, 0, len(opts)+1)
+	out = append(out, opts...)
+	return append(out, dstream.WithFileSystem(fs))
+}

@@ -16,7 +16,7 @@
 //	    d, _ := pcxxstreams.NewDistribution(1000, 4, pcxxstreams.Cyclic, 0)
 //	    g, _ := pcxxstreams.NewCollection[Particle](n, d)
 //	    // ... fill g ...
-//	    s, _ := pcxxstreams.Output(n, d, "wholeGridFile") // oStream s(&d,&a,...)
+//	    s, _ := pcxxstreams.Open(n, d, "wholeGridFile")   // oStream s(&d,&a,...)
 //	    pcxxstreams.Insert[Particle](s, g)                // s << g
 //	    s.Write()                                         // s.write()
 //	    return s.Close()
@@ -35,6 +35,8 @@ import (
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/pfs"
 	"pcxxstreams/internal/replicated"
+	"pcxxstreams/internal/server"
+	"pcxxstreams/internal/session"
 	"pcxxstreams/internal/telemetry"
 	"pcxxstreams/internal/trace"
 	"pcxxstreams/internal/vtime"
@@ -202,9 +204,9 @@ func NewCollection[T any](n *Node, d *Distribution) (*Collection[T], error) {
 // --- d/streams: the paper's central contribution ---
 
 type (
-	// OStream is an output d/stream (declare with Output).
+	// OStream is an output d/stream (declare with Open).
 	OStream = dstream.OStream
-	// IStream is an input d/stream (declare with Input).
+	// IStream is an input d/stream (declare with OpenInput).
 	IStream = dstream.IStream
 	// Encoder is the per-element payload encoder used by inserters.
 	Encoder = dstream.Encoder
@@ -250,13 +252,24 @@ const (
 	MetaParallel = dstream.MetaParallel
 )
 
+// Open opens an output d/stream with functional options:
+// Open(n, d, "file", WithStrategy(StrategyTwoPhase), WithAsync()). It
+// routes through the default session (see Connect and SetDefaultSession):
+// embedded programs get the machine's own file system, while a program
+// whose default session is connected to a dstreamd daemon opens the same
+// stream against remote storage.
+func Open(n *Node, d *Distribution, name string, opts ...StreamOption) (*OStream, error) {
+	return session.Default().Open(n, d, name, opts...)
+}
+
+// OpenInput opens an input d/stream with functional options, routing
+// through the default session like Open.
+func OpenInput(n *Node, d *Distribution, name string, opts ...StreamOption) (*IStream, error) {
+	return session.Default().OpenInput(n, d, name, opts...)
+}
+
 // Stream constructors and sentinel errors.
 var (
-	// Open opens an output d/stream with functional options:
-	// Open(n, d, "file", WithStrategy(StrategyTwoPhase), WithAsync()).
-	Open = dstream.Open
-	// OpenInput opens an input d/stream with functional options.
-	OpenInput = dstream.OpenInput
 	// ParseStrategy maps a flag value to a Strategy.
 	ParseStrategy = dstream.ParseStrategy
 
@@ -278,19 +291,9 @@ var (
 	WithReadAhead = dstream.WithReadAhead
 	// WithStreamOptions merges a pre-built StreamOptions value.
 	WithStreamOptions = dstream.WithOptions
-
-	// Output opens an output d/stream: oStream s(&d, &a, "file").
-	//
-	// Deprecated: use Open.
-	Output = dstream.Output
-	// OutputOpts opens an output d/stream with explicit options.
-	//
-	// Deprecated: use Open with functional options.
-	OutputOpts = dstream.OutputOpts
-	// Input opens an input d/stream: iStream s(&d, &a, "file").
-	//
-	// Deprecated: use OpenInput.
-	Input = dstream.Input
+	// WithFileSystem opens the stream's file on an explicit file system
+	// (sessions use this internally to point streams at a daemon).
+	WithFileSystem = dstream.WithFileSystem
 
 	// ErrClosed reports use of a closed stream.
 	ErrClosed = dstream.ErrClosed
@@ -375,6 +378,53 @@ func InsertInt64Slice[T any](s *OStream, c *Collection[T], get func(*T) []int64)
 func ExtractInt64Slice[T any](s *IStream, c *Collection[T], ptr func(*T) *[]int64) error {
 	return dstream.ExtractInt64Slice(s, c, ptr)
 }
+
+// --- Sessions and the dstreamd daemon (ViPIOS-style client/server I/O) ---
+
+type (
+	// Session scopes stream opens to one storage domain: the process-local
+	// file system (LocalSession) or a tenant namespace inside a running
+	// dstreamd daemon (Connect). Open/OpenInput on a session take the same
+	// functional options as the package-level calls.
+	Session = session.Session
+	// DaemonConfig configures a dstreamd instance (tenants, quotas, stripe
+	// geometry, I/O ranks, admission windows).
+	DaemonConfig = server.Config
+	// DaemonTenant is one tenant namespace of a daemon.
+	DaemonTenant = server.Tenant
+	// Daemon is a running dstreamd instance (see StartDaemon; the dstreamd
+	// command wraps it for standalone use).
+	Daemon = server.Server
+	// DaemonClientConfig tunes a session's connection to a daemon
+	// (reconnect budget, session resume token).
+	DaemonClientConfig = server.ClientConfig
+)
+
+var (
+	// Connect opens a session with the dstreamd daemon at addr under the
+	// named tenant: Connect(addr, "tenant-a") → *Session.
+	Connect = session.Connect
+	// ConnectConfig is Connect with explicit client tuning.
+	ConnectConfig = session.ConnectConfig
+	// LocalSession returns the process-local session (the embedded path).
+	LocalSession = session.Local
+	// DefaultSession returns the session package-level opens route through.
+	DefaultSession = session.Default
+	// SetDefaultSession points the package-level Open/OpenInput at a
+	// session (nil restores the local one), so an embedded program becomes
+	// daemon-backed without touching its open sites.
+	SetDefaultSession = session.SetDefault
+	// StartDaemon starts a dstreamd daemon in-process (tests, smoke runs);
+	// production deployments run the dstreamd command.
+	StartDaemon = server.Start
+
+	// ErrQuota reports a write refused for breaching a tenant's byte quota.
+	ErrQuota = server.ErrQuota
+	// ErrUnknownTenant reports a connect under an unconfigured tenant name.
+	ErrUnknownTenant = server.ErrUnknownTenant
+	// ErrDaemonBusy reports admission refusal at a tenant's session limit.
+	ErrDaemonBusy = server.ErrBusy
+)
 
 // --- Replicated-data I/O (paper §4.2) ---
 

@@ -39,7 +39,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 			p.ID = int64(gl)
 			p.Pos = []float64{float64(gl), float64(gl) * 2}
 		})
-		s, err := Output(n, wd, "facade")
+		s, err := Open(n, wd, "facade")
 		if err != nil {
 			return err
 		}
@@ -61,7 +61,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(n, rd, "facade")
+		in, err := OpenInput(n, rd, "facade")
 		if err != nil {
 			return err
 		}
@@ -97,7 +97,7 @@ func TestFacadeFieldOps(t *testing.T) {
 		}
 		g.Apply(func(gl int, p *point) { p.ID = int64(gl * 10); p.Pos = []float64{1} })
 
-		s, err := Output(n, d, "fields")
+		s, err := Open(n, d, "fields")
 		if err != nil {
 			return err
 		}
@@ -118,7 +118,7 @@ func TestFacadeFieldOps(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(n, d, "fields")
+		in, err := OpenInput(n, d, "fields")
 		if err != nil {
 			return err
 		}
@@ -151,7 +151,7 @@ func TestFacadeErrorsExported(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		s, err := Output(n, d, "err")
+		s, err := Open(n, d, "err")
 		if err != nil {
 			return err
 		}
@@ -215,7 +215,7 @@ func TestFacadeGridAndTraceAndTree(t *testing.T) {
 			return err
 		}
 		c.Apply(func(gl int, p *point) { p.ID = int64(gl) })
-		s, err := Output(n, g3.Dist(), "g3")
+		s, err := Open(n, g3.Dist(), "g3")
 		if err != nil {
 			return err
 		}
@@ -237,7 +237,7 @@ func TestFacadeGridAndTraceAndTree(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		in, err := Input(n, d, "g3")
+		in, err := OpenInput(n, d, "g3")
 		if err != nil {
 			return err
 		}
