@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-readahead bench-critpath chaos-twophase chaos-readahead chaos-tenants bench-alloc alloc-check race-pooldebug telemetry-smoke dstreamd-smoke bench-scale bench-scale-full
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-planner bench-readahead bench-critpath chaos-twophase chaos-readahead chaos-tenants chaos-planner bench-alloc alloc-check race-pooldebug telemetry-smoke dstreamd-smoke bench-scale bench-scale-full
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ bench:
 # BENCH_twophase.json and fails if two-phase never beats both classic paths.
 bench-twophase:
 	$(GO) run ./cmd/dstream-bench -twophase -twophase-json BENCH_twophase.json
+
+# The planner-vs-oracle grid: every cell of the two-phase write ablation
+# plus a read workload grid, replayed under each static choice and under
+# StrategyAuto's cost-model planner. Emits BENCH_planner.json and fails
+# unless Auto is within 10% of the best static choice on ≥90% of the cells
+# with byte-identical data in every cell.
+bench-planner:
+	$(GO) run ./cmd/dstream-bench -planner -planner-json BENCH_planner.json
 
 # The read-ahead prefetch ablation. Emits the grid as BENCH_readahead.json
 # and fails unless prefetching lowers the refill stall on at least half the
@@ -103,6 +111,12 @@ chaos-twophase:
 chaos-readahead:
 	$(GO) test ./internal/chaos/ -v -run TestChaosOracleReadAhead -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
 
+# Same oracle with the cost-model planner active (full-auto streams) and a
+# striped store: seeded faults skew the planner's observations mid-stream,
+# and every successful seed must show rank-identical plan-decision chains.
+chaos-planner:
+	$(GO) test ./internal/chaos/ -v -run TestChaosOraclePlanner -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
 # The multi-tenant daemon oracle: ≥3 concurrent tenant programs through one
 # dstreamd over fault-injected storage and transports, with every client
 # connection severed at seeded moments mid-run. Byte-identity or clean
@@ -119,3 +133,5 @@ fuzz:
 	$(GO) test ./internal/dschema/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/dschema/ -fuzz FuzzDecodeElement -fuzztime 30s
 	$(GO) test ./internal/dschema/ -fuzz FuzzSchemaRoundTrip -fuzztime 30s
+	$(GO) test ./internal/plan/ -fuzz FuzzCostModel -fuzztime 30s
+	$(GO) test ./internal/plan/ -fuzz FuzzPlannerChain -fuzztime 30s

@@ -10,6 +10,7 @@
 //	dstream-bench -ablations     # the design-choice ablations
 //	dstream-bench -all -verify   # also verify data integrity per cell
 //	dstream-bench -twophase      # two-phase vs funnel vs parallel ablation
+//	dstream-bench -planner       # StrategyAuto vs the best static choice per cell
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 		strategy    = flag.String("strategy", "auto", "stream write strategy for -trace/-gantt/-metrics runs: auto|funnel|parallel|twophase")
 		twophase    = flag.Bool("twophase", false, "run the two-phase vs funnel vs parallel strategy ablation")
 		twophaseJS  = flag.String("twophase-json", "", "write the two-phase ablation grid (JSON) to this file ('-' for stdout)")
+		planner     = flag.Bool("planner", false, "run the planner-vs-oracle grid: StrategyAuto against the best static choice per cell")
+		plannerJS   = flag.String("planner-json", "", "write the planner grid (JSON) to this file ('-' for stdout)")
 		readahead   = flag.Bool("readahead", false, "run the read-ahead prefetch ablation")
 		readaheadJS = flag.String("readahead-json", "", "write the read-ahead ablation grid (JSON) to this file ('-' for stdout)")
 		critpathF   = flag.Bool("critpath", false, "run the critical-path attribution sweep over the read-ahead grid")
@@ -55,7 +58,8 @@ func main() {
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
-		!*twophase && *twophaseJS == "" && !*readahead && *readaheadJS == "" &&
+		!*twophase && *twophaseJS == "" && !*planner && *plannerJS == "" &&
+		!*readahead && *readaheadJS == "" &&
 		!*critpathF && *critpathJS == "" && !*scale && *scaleJS == "" && *serve == "" &&
 		!*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
@@ -240,6 +244,51 @@ func main() {
 			fatal(fmt.Errorf("two-phase never beat both funnel and parallel — aggregation is not paying for its shuffle"))
 		}
 		fmt.Fprintf(os.Stderr, "dstream-bench: two-phase wins %d of %d grid cells outright\n", wins, len(pts))
+	}
+
+	if *planner || *plannerJS != "" {
+		grid, err := bench.PlannerSweep()
+		if err != nil {
+			fatal(err)
+		}
+		if *planner {
+			formatPlanner(os.Stdout, grid)
+		}
+		if *plannerJS != "" {
+			out := os.Stdout
+			if *plannerJS != "-" {
+				f, err := os.Create(*plannerJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(grid); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bar for the cost model: byte identity in every
+		// cell, and Auto within 10% of the best static choice on ≥90% of
+		// the grid — a planner may mis-rank near-ties, never lose big.
+		if err := bench.CheckPlanner(grid, bench.PlannerTolerance, bench.PlannerMinFraction); err != nil {
+			fatal(err)
+		}
+		matched := 0
+		for _, p := range grid.Write {
+			if p.Matched {
+				matched++
+			}
+		}
+		for _, p := range grid.Read {
+			if p.Matched {
+				matched++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: planner matched the static oracle on %d of %d grid cells, all byte-identical\n",
+			matched, len(grid.Write)+len(grid.Read))
 	}
 
 	if *readahead || *readaheadJS != "" {
@@ -452,6 +501,27 @@ func formatTwoPhase(w *os.File, pts []bench.StrategyPoint) {
 		fmt.Fprintf(w, "%-10s %6d %8d %9d %7d %10.4f %10.4f %10.4f   %s\n",
 			p.Platform, p.NProcs, p.Segments, p.Particles, p.StripeFactor,
 			p.Funnel, p.Parallel, p.TwoPhase, p.Winner)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatPlanner(w *os.File, g bench.PlannerGrid) {
+	fmt.Fprintln(w, "Planner-vs-oracle grid: StrategyAuto against the best static choice per cell")
+	fmt.Fprintln(w, "-----------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%-10s %6s %9s %7s %10s %10s %-9s %-9s %7s %5s\n",
+		"platform", "procs", "particles", "stripe", "auto", "best", "oracle", "pick", "ratio", "ok")
+	for _, p := range g.Write {
+		fmt.Fprintf(w, "%-10s %6d %9d %7d %10.4f %10.4f %-9s %-9s %7.3f %5v\n",
+			p.Platform, p.NProcs, p.Particles, p.StripeFactor,
+			p.Auto, p.Best, p.BestStrategy, p.AutoPick, p.AutoOverBest, p.Matched)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %9s %9s %10s %10s %-15s %7s %5s\n",
+		"platform", "particles", "compute", "auto", "best", "oracle", "ratio", "ok")
+	for _, p := range g.Read {
+		fmt.Fprintf(w, "%-10s %9d %9.3f %10.4f %10.4f %-15s %7.3f %5v\n",
+			p.Platform, p.Particles, p.ComputePerRecord,
+			p.Auto, p.Best, p.BestChoice, p.AutoOverBest, p.Matched)
 	}
 	fmt.Fprintln(w)
 }

@@ -54,6 +54,11 @@ func AllocTable() ([]AllocCell, error) {
 		return nil, fmt.Errorf("bench: two-phase alloc cycle: %w", err)
 	}
 	cells = append(cells, twophase)
+	auto, err := machineCycleAllocs(dstream.StrategyAuto)
+	if err != nil {
+		return nil, fmt.Errorf("bench: planner alloc cycle: %w", err)
+	}
+	cells = append(cells, auto)
 	read, err := machineReadCycleAllocs(dstream.StrategyParallel, 0)
 	if err != nil {
 		return nil, fmt.Errorf("bench: parallel read alloc cycle: %w", err)
@@ -63,7 +68,12 @@ func AllocTable() ([]AllocCell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: read-ahead alloc cycle: %w", err)
 	}
-	return append(cells, ahead), nil
+	cells = append(cells, ahead)
+	autoRead, err := machineReadCycleAllocs(dstream.StrategyAuto, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: planner read alloc cycle: %w", err)
+	}
+	return append(cells, autoRead), nil
 }
 
 func benchToCell(name string, f func(b *testing.B)) AllocCell {
@@ -192,14 +202,31 @@ const (
 // includes all four ranks' work — the number a training loop would feel.
 func machineCycleAllocs(strat dstream.Strategy) (AllocCell, error) {
 	name := "dstream_funnel_write"
-	if strat == dstream.StrategyTwoPhase {
+	switch strat {
+	case dstream.StrategyTwoPhase:
 		name = "dstream_twophase_write"
+	case dstream.StrategyAuto:
+		// Full-auto: the cost-model planner picks the strategy per record.
+		// Its bookkeeping must ride the cycle allocation-free.
+		name = "dstream_auto_write"
 	}
+	allocs, bytes, err := writeCycleAllocs(vtime.Paragon(), strat)
+	if err != nil {
+		return AllocCell{}, err
+	}
+	return AllocCell{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes}, nil
+}
+
+// writeCycleAllocs is the profile-parameterized core of machineCycleAllocs.
+// The planner reads its cost model from the platform profile, so a test can
+// hand this a profile shaped to force a particular strategy pick and compare
+// the full-auto cycle against the same cycle with that pick hard-coded.
+func writeCycleAllocs(prof vtime.Profile, strat dstream.Strategy) (float64, float64, error) {
 	var allocs, bytes float64
-	fs := pfs.NewFileSystem(vtime.Paragon(), pfs.StripedMemFactory(allocNProcs, 1<<14))
+	fs := pfs.NewFileSystem(prof, pfs.StripedMemFactory(allocNProcs, 1<<14))
 	_, err := machine.Run(machine.Config{
 		NProcs:  allocNProcs,
-		Profile: vtime.Paragon(),
+		Profile: prof,
 		FS:      fs,
 	}, func(n *machine.Node) error {
 		d, err := distr.New(allocElems, allocNProcs, distr.Cyclic, 0)
@@ -253,10 +280,7 @@ func machineCycleAllocs(strat dstream.Strategy) (AllocCell, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return AllocCell{}, err
-	}
-	return AllocCell{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes}, nil
+	return allocs, bytes, err
 }
 
 // machineReadCycleAllocs is the input-side mirror of machineCycleAllocs: the
@@ -269,6 +293,11 @@ func machineReadCycleAllocs(strat dstream.Strategy, depth int) (AllocCell, error
 	name := "dstream_parallel_read"
 	if depth > 0 {
 		name = "dstream_readahead_read"
+	}
+	if strat == dstream.StrategyAuto {
+		// Full-auto: the planner owns both the strategy and the prefetch
+		// depth, so this cell covers the planner-driven pipeline.
+		name = "dstream_auto_read"
 	}
 	const records = allocWarmup + allocCycles
 	var allocs, bytes float64

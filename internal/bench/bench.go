@@ -72,6 +72,11 @@ type Run struct {
 	// the two-phase strategy aggregates against.
 	StripeFactor int
 	StripeUnit   int64
+	// FS, when non-nil, overrides the run's file system entirely (the
+	// stripe fields are ignored). The planner ablation uses it to keep
+	// the written image inspectable after the run, for byte-identity
+	// comparison across strategies.
+	FS *pfs.FileSystem
 	// Verify re-checks every element after the input phase (on by default
 	// in tests; adds no virtual time).
 	Verify bool
@@ -106,13 +111,16 @@ func Measure(r Run) (Measurement, error) {
 	if particles == 0 {
 		particles = scf.DefaultParticles
 	}
-	fs := pfs.NewMemFS(r.Profile)
-	if r.StripeFactor > 0 {
-		unit := r.StripeUnit
-		if unit <= 0 {
-			unit = pfs.DefaultStripeUnit
+	fs := r.FS
+	if fs == nil {
+		fs = pfs.NewMemFS(r.Profile)
+		if r.StripeFactor > 0 {
+			unit := r.StripeUnit
+			if unit <= 0 {
+				unit = pfs.DefaultStripeUnit
+			}
+			fs = pfs.NewFileSystem(r.Profile, pfs.StripedMemFactory(r.StripeFactor, unit))
 		}
-		fs = pfs.NewFileSystem(r.Profile, pfs.StripedMemFactory(r.StripeFactor, unit))
 	}
 	mres, err := machine.Run(machine.Config{
 		NProcs:      r.NProcs,

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"testing"
+
+	"pcxxstreams/internal/dstream"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/plan"
+	"pcxxstreams/internal/vtime"
+)
+
+// TestPlannerWriteCycleZeroOverhead pins the satellite claim that the
+// cost-model planner adds zero allocations per operation to the write
+// cycle. The planner's only communication is the 8-byte geometry
+// Allreduce, and writeParallel reuses that agreement instead of
+// performing its own — so on a workload where the model picks the
+// parallel strategy, full-auto must allocate exactly what the
+// hard-coded parallel cycle allocates. (On funnel/two-phase picks the
+// Allreduce is extra by construction; those cycles are gated against
+// the committed BENCH_alloc_baseline.json instead.)
+//
+// The profile is shaped so parallel wins decisively: near-zero I/O op
+// latency removes parallel's extra-operation penalty, and a 10 KB/s
+// message fabric makes funnel's size-table gather and two-phase's data
+// shuffle expensive while the planner's 8-byte Allreduce stays cheap.
+// The margin is wide enough (≥2x, measured ~5x) that even a
+// calibration clamped at the planner's 4x ratio ceiling cannot push
+// the pick through the hysteresis band — the plan stays parallel for
+// every record of the cycle.
+func TestPlannerWriteCycleZeroOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	if testing.Short() {
+		t.Skip("machine-level pin skipped in -short mode")
+	}
+	prof := vtime.Paragon()
+	prof.MsgBW = 1e4
+	prof.IOOpLatency = 1e-6
+	prof.SerialPerOp = 1e-6
+
+	// Guard: the model must pick parallel by a decisive margin on the
+	// alloc workload's geometry, across the plausible metadata sizes,
+	// or the comparison below would be measuring the wrong pair.
+	m := plan.Model{Prof: prof, Layout: pfs.Layout{StripeUnit: 1 << 14, StripeFactor: allocNProcs}}
+	for _, meta := range []int64{64, 256, 1024} {
+		g := plan.Geometry{
+			NProcs:    allocNProcs,
+			NElems:    allocElems,
+			DataBytes: allocElems * allocElemSize,
+			MetaBytes: meta,
+		}
+		k := m.BestWriteAggregators(g)
+		par := m.WriteCost(g, plan.Parallel, k)
+		fun := m.WriteCost(g, plan.Funnel, k)
+		two := m.WriteCost(g, plan.TwoPhase, k)
+		if 2*par >= fun || 2*par >= two {
+			t.Fatalf("profile does not force a decisive parallel pick at meta=%d: parallel %.6f funnel %.6f twophase %.6f",
+				meta, par, fun, two)
+		}
+	}
+
+	statAllocs, statBytes, err := writeCycleAllocs(prof, dstream.StrategyParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoAllocs, autoBytes, err := writeCycleAllocs(prof, dstream.StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("parallel cycle: %.2f allocs %.1f B; full-auto cycle: %.2f allocs %.1f B",
+		statAllocs, statBytes, autoAllocs, autoBytes)
+	// Two allocs / 256 B of slack absorb scheduler jitter in the
+	// whole-machine counters; the planner's own bookkeeping (model
+	// evaluation, decision, metrics, signature) must contribute nothing.
+	if autoAllocs > statAllocs+2 {
+		t.Errorf("planner adds %.2f allocs/op to the write cycle (auto %.2f vs parallel %.2f)",
+			autoAllocs-statAllocs, autoAllocs, statAllocs)
+	}
+	if autoBytes > statBytes+256 {
+		t.Errorf("planner adds %.1f B/op to the write cycle (auto %.1f vs parallel %.1f)",
+			autoBytes-statBytes, autoBytes, statBytes)
+	}
+}

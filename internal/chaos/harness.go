@@ -55,6 +55,12 @@ type Config struct {
 	// Rates is the fault schedule (DefaultRates() when zero — detected by
 	// an all-zero struct).
 	Rates Rates
+	// PlanSigs, when non-nil, receives each rank's plan-decision-chain
+	// signatures as the pipeline passes the write and read stages. Only
+	// meaningful when the cost-model planner is active (full-auto streams);
+	// the planner oracle uses it to assert every rank planned the identical
+	// chain even when faults skewed the cost observations mid-stream.
+	PlanSigs *PlanSignatures
 	// Watchdog bounds one seed's real run time; exceeding it is the
 	// forbidden outcome, OutcomeHang (default 60s).
 	Watchdog time.Duration
@@ -130,6 +136,44 @@ func (o Outcome) String() string {
 // extracted segment differing from what was written).
 var errCorrupt = errors.New("chaos: extracted data differs from inserted data")
 
+// PlanSignatures collects per-rank planner decision-chain hashes from one
+// pipeline run. Slices are indexed by rank and each rank writes only its own
+// slot, so the SPMD body needs no locking; read them only after machine.Run
+// returns.
+type PlanSignatures struct {
+	Write []uint64
+	Read  []uint64
+}
+
+// NewPlanSignatures sizes a collector for an nprocs-rank pipeline.
+func NewPlanSignatures(nprocs int) *PlanSignatures {
+	return &PlanSignatures{Write: make([]uint64, nprocs), Read: make([]uint64, nprocs)}
+}
+
+// Agree returns nil when every rank recorded the same nonzero signature on
+// both stream directions — the planner made byte-for-byte identical decision
+// chains everywhere, so every re-plan happened on the same record boundary
+// on every rank. Call it only for runs that completed successfully; a run
+// that failed mid-record legitimately leaves ranks at different points.
+func (ps *PlanSignatures) Agree() error {
+	check := func(side string, sigs []uint64) error {
+		for r, s := range sigs {
+			if s == 0 {
+				return fmt.Errorf("chaos: rank %d recorded no %s-side plan signature — planner inactive?", r, side)
+			}
+			if s != sigs[0] {
+				return fmt.Errorf("chaos: %s-side plan chains diverged: rank 0 %016x, rank %d %016x",
+					side, sigs[0], r, s)
+			}
+		}
+		return nil
+	}
+	if err := check("write", ps.Write); err != nil {
+		return err
+	}
+	return check("read", ps.Read)
+}
+
 const harnessFile = "chaos-scf"
 
 // pipeline is the SPMD body of one oracle run: fill an SCF collection
@@ -159,6 +203,9 @@ func pipeline(cfg Config) func(*machine.Node) error {
 			if err := out.Write(); err != nil {
 				return err
 			}
+		}
+		if cfg.PlanSigs != nil {
+			cfg.PlanSigs.Write[n.Rank()] = out.PlanSignature()
 		}
 		if err := out.Close(); err != nil {
 			return err
@@ -198,6 +245,9 @@ func pipeline(cfg Config) func(*machine.Node) error {
 			if bad != nil {
 				return bad
 			}
+		}
+		if cfg.PlanSigs != nil {
+			cfg.PlanSigs.Read[n.Rank()] = in.PlanSignature()
 		}
 		return in.Close()
 	}

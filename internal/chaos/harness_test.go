@@ -131,6 +131,56 @@ func TestChaosOracleReadAhead(t *testing.T) {
 	t.Logf("injections: %v", rep.Injects)
 }
 
+// TestChaosOraclePlanner runs the campaign with the cost-model planner
+// active on both stream directions — full-auto streams (no explicit
+// strategy, no explicit read-ahead) over a striped, fault-injected store.
+// The injected faults (delays, drops, retries) skew the virtual-time cost
+// observations the planner calibrates against mid-stream, which is exactly
+// the condition under which a re-plan could split the group: if any rank
+// saw a different cost than its peers, it would switch strategies on a
+// different record boundary and the collective protocol would deadlock or
+// interleave wrong bytes. The oracle therefore asserts, on top of the usual
+// trichotomy, that every successful seed's per-rank plan-decision chains
+// (FNV-1a over every record's strategy, aggregator count, and depth) are
+// bit-identical across ranks on both the write and read side.
+func TestChaosOraclePlanner(t *testing.T) {
+	cfg := Config{
+		Records:      3,
+		StripeFactor: 3,
+		StripeUnit:   1 << 12,
+	}.withDefaults()
+	ref, err := Reference(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	agreed := 0
+	for i := 0; i < *chaosN; i++ {
+		seed := *chaosSeed + int64(i)
+		c := cfg
+		c.PlanSigs = NewPlanSignatures(cfg.NProcs)
+		sr := RunSeed(c, seed, ref)
+		rep.Add(sr)
+		if sr.Outcome == OutcomeHang {
+			break
+		}
+		// Only completed runs have every rank's chain; a clean error
+		// legitimately leaves ranks at different records.
+		if sr.Outcome == OutcomeOK {
+			if err := c.PlanSigs.Agree(); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			} else {
+				agreed++
+			}
+		}
+	}
+	reportFailures(t, rep)
+	if rep.OK == 0 {
+		t.Error("no planner seed completed successfully — default rates should mostly be survivable")
+	}
+	t.Logf("plan-decision chains rank-identical on all %d successful seeds", agreed)
+}
+
 // TestReferenceStrategyIdentity: the fault-free pipeline writes the same
 // bytes whichever strategy moves them — funnel, parallel, and two-phase are
 // rank-to-block assignments, not formats. This pins the cross-strategy

@@ -9,6 +9,7 @@ import (
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
 	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/plan"
 	"pcxxstreams/internal/trace"
 )
 
@@ -42,6 +43,18 @@ type IStream struct {
 	pre     []prefetched
 	preFree [][]byte
 	starts  []int
+
+	// Cost-model planner state (nil planner = the static heuristic).
+	// planDepth is the effective read-ahead depth — the planner's choice
+	// under full auto, Options.ReadAhead when set explicitly;
+	// planStart/planStrat/planEst feed the per-record observation back.
+	planner   *plan.Planner
+	planMet   *planMetrics
+	planDepth int
+	planK     int
+	planStrat plan.Strategy
+	planEst   float64
+	planStart float64
 }
 
 // recordMeta is the decoded front matter of one record: header, raw
@@ -99,6 +112,9 @@ func openInput(node *machine.Node, d *distr.Distribution, name string, opts Opti
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	f, err := openFile(node, opts, name, false)
 	if err != nil {
 		return nil, fmt.Errorf("dstream: open input %q: %w", name, err)
@@ -132,11 +148,69 @@ func openInput(node *machine.Node, d *distr.Distribution, name string, opts Opti
 		f.Close()
 		return nil, s.fail(fmt.Errorf("dstream: open sync: %w", err))
 	}
+	if opts.plannerEnabled() {
+		s.planner = s.newStreamPlanner()
+		s.planMet = newPlanMetrics(s.met, node.Rank())
+		// Depth starts at the explicit override (0 under full auto — the
+		// first record is read synchronously, its broadcast geometry seeds
+		// the planner, and the pipeline starts from the second record).
+		s.planDepth = opts.ReadAhead
+	}
 	s.cursor = enc.FileHeaderLen
 	// With read-ahead enabled, start the pipeline now so the first Read
 	// already overlaps with whatever the consumer does before it.
 	s.topUpPrefetch()
 	return s, nil
+}
+
+// aheadDepth is the effective prefetch depth: the planner's current
+// choice on a planned stream, the static option otherwise.
+func (s *IStream) aheadDepth() int {
+	if s.planner != nil {
+		return s.planDepth
+	}
+	return s.opts.ReadAhead
+}
+
+// planRead plans the record described by m and reports whether the
+// two-phase refill should serve it. All inputs come from the broadcast
+// metadata, so every rank plans identically; the broadcast also equalized
+// the group's clocks, making planStart a common origin for the
+// observation that follows the data movement.
+func (s *IStream) planRead(m recordMeta) bool {
+	if s.planner == nil {
+		return s.opts.strategy(int(m.h.NElems)) == StrategyTwoPhase
+	}
+	g := plan.Geometry{
+		NProcs:    s.dist.NProcs,
+		NElems:    int(m.h.NElems),
+		DataBytes: int64(m.h.DataBytes),
+		MetaBytes: enc.RecordHeaderLen + int64(m.h.DescBytes) + m.h.SizeTableBytes(),
+	}
+	d := s.planner.PlanRead(g, s.opts.Aggregators, s.opts.ReadAhead)
+	s.planK = d.Aggregators
+	s.planDepth = d.ReadAhead
+	s.planStrat = d.Strategy
+	s.planEst = d.RawEstimate
+	s.planStart = s.node.Clock().Now()
+	s.planMet.note(s.planner, d)
+	s.planMet.depth.Set(float64(d.ReadAhead))
+	if d.Switched {
+		s.planSwitchSpan(d)
+	}
+	return d.Strategy == plan.TwoPhase
+}
+
+// observePlanned feeds one planned record's observed virtual cost back to
+// the planner. end must be a rank-identical instant (a synchronous
+// refill's closing rendezvous, or an asynchronous transfer's completion).
+func (s *IStream) observePlanned(end float64) {
+	if s.planner == nil {
+		return
+	}
+	obs := end - s.planStart
+	s.planner.Observe(s.planStrat, s.planEst, obs)
+	s.planMet.observed.Observe(obs)
 }
 
 // More reports whether another record remains in the file.
@@ -205,7 +279,6 @@ func (s *IStream) read(sorted bool) error {
 		return s.fail(err)
 	}
 
-	n := int(m.h.NElems)
 	offs := m.offs
 	dataStart := s.cursor + enc.RecordHeaderLen + int64(m.h.DescBytes) + m.h.SizeTableBytes()
 
@@ -217,7 +290,9 @@ func (s *IStream) read(sorted bool) error {
 	// the file — a prefetched share already sits in memory; otherwise one
 	// direct parallel read (conforming to the layout on disk), or, under
 	// the two-phase strategy, aggregators that refill stripe-aligned
-	// extents once and scatter slices to consumers.
+	// extents once and scatter slices to consumers. A prefetched record
+	// was planned when its fetch was issued; a synchronous one is planned
+	// here.
 	var chunk []byte
 	switch {
 	case hit:
@@ -226,13 +301,14 @@ func (s *IStream) read(sorted bool) error {
 			s.refill = e.chunk
 		}
 		chunk = e.chunk
-	case s.opts.strategy(n) == StrategyTwoPhase:
+	case s.planRead(m):
 		c, _, err := s.refillTwoPhase(dataStart, offs, starts, s.refill, false)
 		s.refill = c
 		chunk = c
 		if err != nil {
 			return s.fail(fmt.Errorf("%w: parallel read: %w", ErrIO, err))
 		}
+		s.observePlanned(s.node.Clock().Now())
 	default:
 		rg := pfs.Range{Off: dataStart + offs[lo], Len: int(offs[hi] - offs[lo])}
 		old := s.refill
@@ -247,8 +323,13 @@ func (s *IStream) read(sorted bool) error {
 			}
 			s.refill = chunk
 		}
+		s.observePlanned(s.node.Clock().Now())
 	}
 	s.node.CopyCost(int64(len(chunk)))
+	if s.planner != nil {
+		// Credit the waste governor: this record's bytes were wanted.
+		s.planner.ObserveConsumed(int64(m.h.DataBytes))
+	}
 
 	// Slice the chunk into per-position payloads.
 	payloads := make([][]byte, hi-lo)
@@ -382,14 +463,14 @@ func (s *IStream) rankStarts() []int {
 // rank at once and re-surface through the consumer's own synchronous read;
 // transport failures fail the stream (see commError).
 func (s *IStream) topUpPrefetch() {
-	if s.opts.ReadAhead <= 0 || s.err != nil || s.f == nil {
+	if s.aheadDepth() <= 0 || s.err != nil || s.f == nil {
 		return
 	}
 	next := s.cursor
 	if n := len(s.pre); n > 0 {
 		next = s.pre[n-1].next
 	}
-	for len(s.pre) < s.opts.ReadAhead && next < s.f.Size() {
+	for len(s.pre) < s.aheadDepth() && next < s.f.Size() {
 		e, ok := s.prefetchOne(next)
 		if !ok {
 			return
@@ -417,7 +498,7 @@ func (s *IStream) prefetchOne(cursor int64) (prefetched, bool) {
 	dataStart := cursor + enc.RecordHeaderLen + int64(m.h.DescBytes) + m.h.SizeTableBytes()
 	starts := s.rankStarts()
 	dst := s.takeFreeBuf()
-	if s.opts.strategy(int(m.h.NElems)) == StrategyTwoPhase {
+	if s.planRead(m) {
 		chunk, completion, err := s.refillTwoPhase(dataStart, m.offs, starts, dst, true)
 		if err != nil {
 			s.retireBuf(chunk)
@@ -449,6 +530,11 @@ func (s *IStream) prefetchOne(cursor int64) (prefetched, bool) {
 		e.chunk, e.completion = chunk, completion
 		e.span = s.f.LastAsyncSpan()
 	}
+	// The async transfer's completion is the same instant on every rank;
+	// its distance from the planned start is the record's observed cost,
+	// fed back at issue time (ranks run the pipeline in lockstep, so the
+	// planner sees observations in the same order everywhere).
+	s.observePlanned(e.completion)
 	return e, true
 }
 
@@ -490,7 +576,7 @@ func (s *IStream) retireBuf(b []byte) {
 	if b == nil {
 		return
 	}
-	if s.opts.ReadAhead > 0 && len(s.preFree) <= s.opts.ReadAhead {
+	if d := s.aheadDepth(); d > 0 && len(s.preFree) <= d {
 		s.preFree = append(s.preFree, b)
 		return
 	}
@@ -632,6 +718,12 @@ func (s *IStream) Skip() error {
 		// Already fetched: no I/O to do, but the prefetched data dies
 		// unread.
 		s.met.prefetchWasted.Add(int64(len(e.chunk)))
+		if s.planner != nil {
+			// Debit the waste governor with the record's rank-identical
+			// total (Skip is collective, so every rank debits together);
+			// enough skipped bytes and the planner stops prefetching.
+			s.planner.ObserveWasted(int64(e.meta.h.DataBytes))
+		}
 		s.retireBuf(e.chunk)
 		s.cursor = e.next
 		s.haveRec = false

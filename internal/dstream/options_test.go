@@ -1,0 +1,117 @@
+package dstream
+
+import (
+	"strings"
+	"testing"
+
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/pfs"
+	"pcxxstreams/internal/vtime"
+)
+
+// TestOptionValidation: option values Open and OpenInput used to misread
+// silently (a negative threshold fell back to the default, a negative
+// aggregator count to the stripe factor, a negative depth to synchronous
+// reads) now fail at open time with a clear error — on both stream
+// directions — while the zero values and genuine settings still open.
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []Option
+		wantErr string // "" means the open must succeed
+	}{
+		{"defaults", nil, ""},
+		{"zero threshold", []Option{WithFunnelThreshold(0)}, ""},
+		{"positive threshold", []Option{WithFunnelThreshold(512)}, ""},
+		{"positive aggregators", []Option{WithAggregators(2)}, ""},
+		{"positive read-ahead", []Option{WithReadAhead(3)}, ""},
+		{"negative threshold", []Option{WithFunnelThreshold(-1)}, "negative funnel threshold"},
+		{"negative aggregators", []Option{WithAggregators(-2)}, "negative aggregator count"},
+		{"negative read-ahead", []Option{WithReadAhead(-4)}, "negative read-ahead depth"},
+		{"negative among valid", []Option{WithStrategy(StrategyTwoPhase), WithAggregators(-1), WithReadAhead(2)},
+			"negative aggregator count"},
+	}
+	fs := pfs.NewMemFS(vtime.Challenge())
+	run(t, 2, fs, func(n *machine.Node) error {
+		d, err := distr.New(8, 2, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		// Seed one valid file so the OpenInput successes have bytes to read.
+		seed, err := Open(n, d, "opt-valid", WithStrategy(StrategyParallel))
+		if err != nil {
+			return err
+		}
+		if err := seed.InsertFunc(func(l int, e *Encoder) { e.Int64(int64(l)) }); err != nil {
+			return err
+		}
+		if err := seed.Write(); err != nil {
+			return err
+		}
+		if err := seed.Close(); err != nil {
+			return err
+		}
+
+		for _, tc := range cases {
+			out, err := Open(n, d, "opt-"+tc.name, tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Errorf("rank %d: Open(%s) failed: %v", n.Rank(), tc.name, err)
+					continue
+				}
+				if err := out.Close(); err != nil {
+					return err
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("rank %d: Open(%s) = %v, want error containing %q", n.Rank(), tc.name, err, tc.wantErr)
+				if err == nil {
+					out.Close()
+				}
+			}
+
+			in, err := OpenInput(n, d, "opt-valid", tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Errorf("rank %d: OpenInput(%s) failed: %v", n.Rank(), tc.name, err)
+					continue
+				}
+				if err := in.Close(); err != nil {
+					return err
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("rank %d: OpenInput(%s) = %v, want error containing %q", n.Rank(), tc.name, err, tc.wantErr)
+				if err == nil {
+					in.Close()
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestPlannerEnabledGate pins which configurations hand the strategy choice
+// to the cost-model planner: only the full-auto zero configuration. Any
+// explicit strategy, legacy metadata policy, or threshold override keeps
+// the paper's static heuristic and its exact cost profile.
+func TestPlannerEnabledGate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want bool
+	}{
+		{"zero options", Options{}, true},
+		{"async only", Options{Async: true}, true},
+		{"read-ahead only", Options{ReadAhead: 2}, true},
+		{"aggregators only", Options{Aggregators: 2}, true},
+		{"explicit strategy", Options{Strategy: StrategyFunnel}, false},
+		{"explicit twophase", Options{Strategy: StrategyTwoPhase}, false},
+		{"meta policy", Options{Meta: MetaFunnel}, false},
+		{"funnel threshold", Options{FunnelThreshold: 100}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.o.plannerEnabled(); got != tc.want {
+			t.Errorf("%s: plannerEnabled() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"pcxxstreams/internal/distr"
 	"pcxxstreams/internal/enc"
 	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/plan"
 	"pcxxstreams/internal/trace"
 )
 
@@ -46,6 +47,21 @@ type OStream struct {
 	insertSpans  []trace.SpanID
 	writeSpan    trace.SpanID
 	pendingSpans []trace.SpanID
+
+	// Cost-model planner state (nil planner = the paper's static
+	// heuristic). descLen caches the descriptor section's byte length (it
+	// never changes between records); planTotal carries the record's
+	// agreed total data bytes from the plan agreement to writeParallel,
+	// which then skips its own Allreduce; planStart/planStrat/planEst
+	// feed the post-flush observation back to the planner.
+	planner   *plan.Planner
+	planMet   *planMetrics
+	descLen   int
+	planK     int
+	planTotal int64
+	planStrat plan.Strategy
+	planEst   float64
+	planStart float64
 }
 
 // openOutput is the collective open every output constructor funnels into.
@@ -54,6 +70,9 @@ func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Opt
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	f, err := openFile(node, opts, name, !opts.Append)
 	if err != nil {
 		return nil, fmt.Errorf("dstream: open output %q: %w", name, err)
@@ -61,6 +80,12 @@ func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Opt
 	s := &OStream{
 		stream: stream{node: node, dist: d, f: f, name: name, met: newStreamMetrics(node.Monitor()), tag: streamTag(name)},
 		opts:   opts,
+	}
+	if opts.plannerEnabled() {
+		s.planner = s.newStreamPlanner()
+		s.planMet = newPlanMetrics(s.met, node.Rank())
+		_, desc := headerFor(d, 1, 0)
+		s.descLen = len(desc)
 	}
 	// Node 0 stamps (or, in append mode, validates) the file header; the
 	// control sync both orders that before any parallel append and models
@@ -225,13 +250,19 @@ func (s *OStream) Write() error {
 	s.groupBytes = 0
 
 	var werr error
-	switch s.opts.strategy(s.dist.N) {
-	case StrategyFunnel:
-		werr = s.writeFunnel(nArrays, localSizes, data)
-	case StrategyTwoPhase:
-		werr = s.writeTwoPhase(nArrays, localSizes, data)
-	default:
-		werr = s.writeParallel(nArrays, localSizes, data)
+	strat := s.opts.strategy(s.dist.N)
+	if s.planner != nil {
+		strat, werr = s.planRecord(localBytes)
+	}
+	if werr == nil {
+		switch strat {
+		case StrategyFunnel:
+			werr = s.writeFunnel(nArrays, localSizes, data)
+		case StrategyTwoPhase:
+			werr = s.writeTwoPhase(nArrays, localSizes, data)
+		default:
+			werr = s.writeParallel(nArrays, localSizes, data)
+		}
 	}
 	// Every strategy's bytes are on the wire or in the file by the time it
 	// returns (parallel appends complete inside the rendezvous, transports
@@ -242,6 +273,14 @@ func (s *OStream) Write() error {
 	}
 	s.wrote++
 	end := s.node.Clock().Now()
+	if s.planner != nil {
+		// The strategy's closing rendezvous left every rank's clock at the
+		// same instant, and planStart was equalized by the plan agreement:
+		// the delta is a rank-identical observation, fed back for free.
+		obs := end - s.planStart
+		s.planner.Observe(s.planStrat, s.planEst, obs)
+		s.planMet.observed.Observe(obs)
+	}
 	s.met.writes.Inc()
 	s.met.flushBytes.Observe(float64(localBytes))
 	s.met.flushStall.Observe(end - start)
@@ -249,6 +288,37 @@ func (s *OStream) Write() error {
 		rec.AddSpanID(s.writeSpan, s.node.Rank(), "dstream", "ostream.Write "+s.name, start, end)
 	}
 	return nil
+}
+
+// planRecord agrees on the record's total data bytes — one 8-byte
+// Allreduce, the same agreement writeParallel performs anyway, hoisted
+// ahead of the strategy choice — and asks the planner for this record's
+// plan. The Allreduce both supplies a rank-identical geometry and
+// equalizes the group's virtual clocks, so every rank picks the same
+// strategy with no further communication and the post-flush clock delta
+// is a common observation.
+func (s *OStream) planRecord(localBytes int) (Strategy, error) {
+	total, err := s.node.Comm().Allreduce(float64(localBytes), collective.OpSum)
+	if err != nil {
+		return StrategyAuto, fmt.Errorf("dstream: plan agreement: %w", err)
+	}
+	s.planTotal = int64(total)
+	g := plan.Geometry{
+		NProcs:    s.dist.NProcs,
+		NElems:    s.dist.N,
+		DataBytes: s.planTotal,
+		MetaBytes: s.metaBytesFor(s.descLen),
+	}
+	d := s.planner.PlanWrite(g, s.opts.Aggregators)
+	s.planK = d.Aggregators
+	s.planStrat = d.Strategy
+	s.planEst = d.RawEstimate
+	s.planStart = s.node.Clock().Now()
+	s.planMet.note(s.planner, d)
+	if d.Switched {
+		s.planSwitchSpan(d)
+	}
+	return fromPlanStrategy(d.Strategy), nil
 }
 
 // writeFunnel gathers the size table to node 0, which writes the record
@@ -349,10 +419,17 @@ func (s *OStream) Drain() {
 // (node 0 prefixes the record header to its slice of the size table), then
 // the data section with a second parallel append.
 func (s *OStream) writeParallel(nArrays int, localSizes []uint32, data []byte) error {
-	comm := s.node.Comm()
-	total, err := comm.Allreduce(float64(len(data)), collective.OpSum)
-	if err != nil {
-		return fmt.Errorf("dstream: sum data bytes: %w", err)
+	var total float64
+	if s.planner != nil {
+		// The plan agreement already summed the group's data bytes; don't
+		// pay a second Allreduce.
+		total = float64(s.planTotal)
+	} else {
+		var err error
+		total, err = s.node.Comm().Allreduce(float64(len(data)), collective.OpSum)
+		if err != nil {
+			return fmt.Errorf("dstream: sum data bytes: %w", err)
+		}
 	}
 	var meta []byte
 	if s.node.Rank() == 0 {
@@ -364,7 +441,7 @@ func (s *OStream) writeParallel(nArrays int, localSizes []uint32, data []byte) e
 	} else {
 		meta = enc.AppendSizeTable(bufpool.GetCap(4*len(localSizes)), localSizes)
 	}
-	_, err = s.f.ParallelAppend(meta)
+	_, err := s.f.ParallelAppend(meta)
 	bufpool.Put(meta)
 	if err != nil {
 		return fmt.Errorf("dstream: meta append: %w", err)

@@ -243,6 +243,11 @@ func TestReadAheadBufferRelease(t *testing.T) {
 			var opts []Option
 			if depth > 0 {
 				opts = append(opts, WithReadAhead(depth))
+			} else {
+				// An explicit strategy keeps the planner (which would
+				// otherwise start prefetching on its own) out of the
+				// baseline: this reader must be genuinely synchronous.
+				opts = append(opts, WithStrategy(StrategyParallel))
 			}
 			s, err := OpenInput(n, d, "f", opts...)
 			if err != nil {

@@ -107,9 +107,15 @@ func (s *OStream) writeTwoPhase(nArrays int, localSizes []uint32, data []byte) e
 	}
 
 	// Aggregation plan: the data section will start metaLen bytes past the
-	// current end of file; cut it into K extents at stripe boundaries.
+	// current end of file; cut it into K extents at stripe boundaries. A
+	// planned stream uses the cost model's fan-in (rank-identical, like
+	// every planner output); K changes the rank→extent assignment but not
+	// a byte of the record, so re-planning K is always safe.
 	layout := s.f.Layout()
 	k := twoPhaseAggregators(s.opts, layout, nprocs)
+	if s.planner != nil && s.planK > 0 {
+		k = s.planK
+	}
 	h, desc := headerFor(s.dist, nArrays, uint64(total))
 	metaLen := enc.RecordHeaderLen + int64(len(desc)) + int64(4*s.dist.N)
 	base := s.f.Size() + metaLen
@@ -246,6 +252,9 @@ func (s *IStream) refillTwoPhase(dataStart int64, offs []int64, starts []int, ds
 
 	layout := s.f.Layout()
 	k := twoPhaseAggregators(s.opts, layout, nprocs)
+	if s.planner != nil && s.planK > 0 {
+		k = s.planK
+	}
 	cuts := stripeCuts(dataStart, total, k, layout.StripeUnit)
 
 	// Phase one: aggregators read their extent; other ranks contribute an
