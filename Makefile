@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-planner bench-readahead bench-critpath chaos-twophase chaos-readahead chaos-tenants chaos-planner bench-alloc alloc-check race-pooldebug telemetry-smoke dstreamd-smoke bench-scale bench-scale-full
+.PHONY: build test vet race check bench tables chaos fuzz api-golden bench-twophase bench-planner bench-readahead bench-critpath bench-pipeline chaos-twophase chaos-readahead chaos-tenants chaos-planner chaos-pipeline bench-alloc alloc-check race-pooldebug telemetry-smoke dstreamd-smoke bench-scale bench-scale-full
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench-planner:
 # cells with byte-identical data.
 bench-readahead:
 	$(GO) run ./cmd/dstream-bench -readahead -readahead-json BENCH_readahead.json
+
+# The pipeline-vs-file grid: stream-to-stream channels against writing and
+# re-reading the same records through the file system. Emits the grid as
+# BENCH_pipeline.json and fails unless the pipeline wins at least half the
+# cells with the consumed bytes identical to the file path in every cell.
+bench-pipeline:
+	$(GO) run ./cmd/dstream-bench -pipeline -pipeline-json BENCH_pipeline.json
 
 # The critical-path attribution sweep. Emits the grid as BENCH_critpath.json
 # and fails unless every rank's wall time is fully attributed and the
@@ -116,6 +123,13 @@ chaos-readahead:
 # and every successful seed must show rank-identical plan-decision chains.
 chaos-planner:
 	$(GO) test ./internal/chaos/ -v -run TestChaosOraclePlanner -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
+
+# The channel oracle: the M→N pipeline under seeded transport faults plus a
+# seeded mid-stream consumer stall. Every seed must end with the pipeline's
+# consumed bytes identical to the fault-free file path or a clean error —
+# never a hang, never corruption.
+chaos-pipeline:
+	$(GO) test ./internal/chaos/ -v -run TestChaosPipeline -chaos.seed $(CHAOS_SEED) -chaos.n $(CHAOS_N)
 
 # The multi-tenant daemon oracle: ≥3 concurrent tenant programs through one
 # dstreamd over fault-injected storage and transports, with every client

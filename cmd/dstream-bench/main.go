@@ -44,6 +44,8 @@ func main() {
 		readaheadJS = flag.String("readahead-json", "", "write the read-ahead ablation grid (JSON) to this file ('-' for stdout)")
 		critpathF   = flag.Bool("critpath", false, "run the critical-path attribution sweep over the read-ahead grid")
 		critpathJS  = flag.String("critpath-json", "", "write the critical-path sweep (JSON) to this file ('-' for stdout)")
+		pipeline    = flag.Bool("pipeline", false, "run the pipeline-vs-file grid: stream-to-stream channels against write-then-read")
+		pipelineJS  = flag.String("pipeline-json", "", "write the pipeline grid (JSON) to this file ('-' for stdout)")
 		scale       = flag.Bool("scale", false, "run the runtime scale curve (wall-clock per-message cost, 4→1024 ranks)")
 		scaleJS     = flag.String("scale-json", "", "write the scale curve (JSON) to this file ('-' for stdout)")
 		scaleMax    = flag.Int("scale-max", 1024, "largest rank count of the -scale sweep (CI smokes 128)")
@@ -59,7 +61,7 @@ func main() {
 	flag.Parse()
 	if !*all && *table == 0 && !*ablations && !*stats && !*platforms && !*scaling &&
 		!*twophase && *twophaseJS == "" && !*planner && *plannerJS == "" &&
-		!*readahead && *readaheadJS == "" &&
+		!*readahead && *readaheadJS == "" && !*pipeline && *pipelineJS == "" &&
 		!*critpathF && *critpathJS == "" && !*scale && *scaleJS == "" && *serve == "" &&
 		!*alloc && *allocJS == "" && *allocCheck == "" &&
 		*traceOut == "" && !*gantt && !*metrics && *metricsJS == "" {
@@ -332,6 +334,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dstream-bench: read-ahead lowers the refill stall on %d of %d grid cells\n", wins, len(pts))
 	}
 
+	if *pipeline || *pipelineJS != "" {
+		pts, err := bench.PipelineSweep()
+		if err != nil {
+			fatal(err)
+		}
+		if *pipeline {
+			formatPipeline(os.Stdout, pts)
+		}
+		if *pipelineJS != "" {
+			out := os.Stdout
+			if *pipelineJS != "-" {
+				f, err := os.Create(*pipelineJS)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fatal(err)
+			}
+		}
+		// The acceptance bar for the channel subsystem: byte identity with
+		// the file path in every cell, pipeline faster on at least half.
+		if err := bench.CheckPipeline(pts); err != nil {
+			fatal(err)
+		}
+		wins := 0
+		for _, p := range pts {
+			if p.PipelineSeconds < p.FileSeconds {
+				wins++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dstream-bench: pipeline beats write-then-read on %d of %d grid cells, all byte-identical\n",
+			wins, len(pts))
+	}
+
 	if *critpathF || *critpathJS != "" {
 		pts, err := bench.CritPathSweep()
 		if err != nil {
@@ -548,6 +589,19 @@ func formatReadAhead(w *os.File, pts []bench.ReadAheadPoint) {
 		fmt.Fprintf(w, "%-10s %-9s %5d %6d %8d %8d %12.4f %12.4f %6d\n",
 			p.Platform, p.Strategy, p.Depth, p.NProcs, p.Records, p.StripeFactor,
 			p.StallSync, p.StallAhead, p.PrefetchHits)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatPipeline(w *os.File, pts []bench.PipelinePoint) {
+	fmt.Fprintln(w, "Pipeline-vs-file grid (virtual seconds, stream-to-stream channel against write-then-read)")
+	fmt.Fprintln(w, "------------------------------------------------------------------------------------------")
+	fmt.Fprintf(w, "%-10s %5s %5s %6s %9s %8s %9s %10s %10s %8s %6s\n",
+		"platform", "prod", "cons", "elems", "elem B", "records", "compute", "pipeline", "file", "speedup", "bytes")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %5d %5d %6d %9d %8d %9.3f %10.4f %10.4f %7.2fx %6v\n",
+			p.Platform, p.Producers, p.Consumers, p.Elems, p.ElemBytes, p.Records,
+			p.ComputePerRecord, p.PipelineSeconds, p.FileSeconds, p.Speedup, p.BytesMatch)
 	}
 	fmt.Fprintln(w)
 }

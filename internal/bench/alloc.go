@@ -73,7 +73,17 @@ func AllocTable() ([]AllocCell, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: planner read alloc cycle: %w", err)
 	}
-	return append(cells, autoRead), nil
+	cells = append(cells, autoRead)
+	chanSend, err := channelCycleAllocs(false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: channel send alloc cycle: %w", err)
+	}
+	cells = append(cells, chanSend)
+	chanRecv, err := channelCycleAllocs(true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: channel recv alloc cycle: %w", err)
+	}
+	return append(cells, chanRecv), nil
 }
 
 func benchToCell(name string, f func(b *testing.B)) AllocCell {
@@ -342,6 +352,106 @@ func machineReadCycleAllocs(strat dstream.Strategy, depth int) (AllocCell, error
 				return err
 			}
 			return in.ExtractFunc(func(l int, d *dstream.Decoder) { d.Raw(allocElemSize) })
+		}
+		for i := 0; i < allocWarmup; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		// Quiesce: all ranks idle while rank 0 snapshots the heap counters.
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		var before runtime.MemStats
+		var gcPct int
+		if n.Rank() == 0 {
+			gcPct = debug.SetGCPercent(-1) // no GC inside the window
+			runtime.ReadMemStats(&before)
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < allocCycles; i++ {
+			if err := cycle(); err != nil {
+				return err
+			}
+		}
+		if err := n.Comm().Barrier(); err != nil {
+			return err
+		}
+		if n.Rank() == 0 {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			debug.SetGCPercent(gcPct)
+			allocs = float64(after.Mallocs-before.Mallocs) / allocCycles
+			bytes = float64(after.TotalAlloc-before.TotalAlloc) / allocCycles
+		}
+		return nil
+	})
+	if err != nil {
+		return AllocCell{}, err
+	}
+	return AllocCell{Name: name, AllocsPerOp: allocs, BytesPerOp: bytes}, nil
+}
+
+// channelCycleAllocs measures the stream-to-stream channel's steady state:
+// a 4-rank machine with 2 producer and 2 consumer ranks pumping records
+// through a persistent channel (block → cyclic, so every record is
+// redistributed in flight), counted as whole-machine allocations per record
+// hand-off like the other machine-level cells. The send cell stops the
+// consumers at Read (frame arrival, validation, and retirement — the
+// producer-facing steady state); the recv cell adds the full per-element
+// extraction, so the pair brackets both ends of the pipeline.
+func channelCycleAllocs(extract bool) (AllocCell, error) {
+	name := "dstream_chan_send"
+	if extract {
+		name = "dstream_chan_recv"
+	}
+	const producers, consumers = 2, 2
+	var allocs, bytes float64
+	prof := vtime.Paragon()
+	_, err := machine.Run(machine.Config{
+		NProcs:  producers + consumers,
+		Profile: prof,
+		FS:      pfs.NewMemFS(prof),
+	}, func(n *machine.Node) error {
+		dProd, err := distr.New(allocElems, producers, distr.Block, 0)
+		if err != nil {
+			return err
+		}
+		dCons, err := distr.New(allocElems, consumers, distr.Cyclic, 0)
+		if err != nil {
+			return err
+		}
+		var cycle func() error
+		if n.Rank() < producers {
+			s, err := dstream.OpenChannel(n, dProd, dCons, "alloc-chan")
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			payload := make([]byte, allocElemSize)
+			cycle = func() error {
+				if err := s.InsertFunc(func(l int, e *dstream.Encoder) { e.Raw(payload) }); err != nil {
+					return err
+				}
+				return s.Write()
+			}
+		} else {
+			r, err := dstream.OpenChannelInput(n, dCons, dProd, "alloc-chan")
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			cycle = func() error {
+				if err := r.Read(); err != nil {
+					return err
+				}
+				if !extract {
+					return nil
+				}
+				return r.ExtractFunc(func(l int, d *dstream.Decoder) { d.Raw(allocElemSize) })
+			}
 		}
 		for i := 0; i < allocWarmup; i++ {
 			if err := cycle(); err != nil {

@@ -232,6 +232,33 @@ func TestReadCycleAllocPin(t *testing.T) {
 	}
 }
 
+// TestChannelCycleAllocPin pins the stream-to-stream channel's steady state
+// at funnel-or-better: a record hand-off through the channel (both the
+// send-facing and the full-extraction cycle) must not out-allocate the
+// funnel insert+write cycle it replaces — the channel exists to be the
+// cheaper path, and an allocation-per-frame bug would erase that.
+func TestChannelCycleAllocPin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins stand down under -race")
+	}
+	if testing.Short() {
+		t.Skip("machine-level pin skipped in -short mode")
+	}
+	for _, extract := range []bool{false, true} {
+		cell, err := channelCycleAllocs(extract)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %.1f allocs, %.1f B", cell.Name, cell.AllocsPerOp, cell.BytesPerOp)
+		if cell.AllocsPerOp > funnelCycleBudget {
+			t.Errorf("%s cycle: %.1f allocs, budget %d (funnel-or-better)", cell.Name, cell.AllocsPerOp, funnelCycleBudget)
+		}
+		if cell.BytesPerOp > funnelCycleByteBudget {
+			t.Errorf("%s cycle: %.1f B, budget %d", cell.Name, cell.BytesPerOp, funnelCycleByteBudget)
+		}
+	}
+}
+
 // TestCheckAllocRegression exercises the CI gate logic itself.
 func TestCheckAllocRegression(t *testing.T) {
 	base := []AllocCell{{Name: "x", AllocsPerOp: 10, BytesPerOp: 1000}}

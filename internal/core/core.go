@@ -35,6 +35,10 @@ type (
 	//
 	// Deprecated: use Strategy instead.
 	MetaPolicy = dstream.MetaPolicy
+	// OChannel is the sending end of a stream-to-stream channel.
+	OChannel = dstream.OChannel
+	// IChannel is the receiving end of a stream-to-stream channel.
+	IChannel = dstream.IChannel
 )
 
 // Stream strategies.
@@ -55,11 +59,16 @@ var (
 	Open = dstream.Open
 	// OpenInput opens an input d/stream with functional options.
 	OpenInput = dstream.OpenInput
+	// OpenChannel opens the sending end of a stream-to-stream channel.
+	OpenChannel = dstream.OpenChannel
+	// OpenChannelInput opens the receiving end of a stream-to-stream channel.
+	OpenChannelInput = dstream.OpenChannelInput
 	// WithStrategy selects the collective data path.
 	WithStrategy = dstream.WithStrategy
 	// WithAsync makes output writes write-behind.
 	WithAsync = dstream.WithAsync
-
+	// WithChannelWindow sets a channel's per-consumer credit window.
+	WithChannelWindow = dstream.WithChannelWindow
 )
 
 // Sentinel errors.
@@ -72,4 +81,6 @@ var (
 	ErrOrder = dstream.ErrOrder
 	// ErrIO wraps a flush or refill that failed in the layers below.
 	ErrIO = dstream.ErrIO
+	// ErrEOS reports end of stream on a channel's receiving end.
+	ErrEOS = dstream.ErrEOS
 )

@@ -1,0 +1,900 @@
+package dstream
+
+import (
+	"errors"
+	"fmt"
+
+	"pcxxstreams/internal/bufpool"
+	"pcxxstreams/internal/distr"
+	"pcxxstreams/internal/dsmon"
+	"pcxxstreams/internal/enc"
+	"pcxxstreams/internal/machine"
+	"pcxxstreams/internal/trace"
+)
+
+// This file implements persistent stream-to-stream channels: the d/stream
+// endpoints generalized so a stream can attach M producer ranks directly to
+// N consumer ranks over the interconnect, with no file in between (the MPI
+// Streams direction — see ROADMAP). The inserter/extractor machinery is the
+// one the file streams use; what replaces the file is a set of per-pair
+// frame flows over the machine's mailbox rings:
+//
+//	producer: OpenChannel → insert⁺ → write → (insert⁺ → write)* → close
+//	consumer: OpenChannelInput → read → extract* → … → close
+//
+// # Groups
+//
+// The producer group occupies machine ranks [0, M) and the consumer group
+// machine ranks [P−N, P), where M and N are the NProcs of the two
+// distributions and P the machine size. Both ends name both layouts at
+// open — the channel's analog of the self-describing record header — so
+// every rank derives the complete frame routing statically, with no open
+// handshake and no per-record metadata exchange. The groups may overlap
+// (M = N = P gives a loopback channel); an overlapping rank must then keep
+// its in-flight bytes below the credit window between its own writes and
+// reads, or it would wait on a credit only it can send.
+//
+// # Redistribution
+//
+// Each Write turns the interleave group into one frame per consumer that
+// owns at least one of this rank's elements, packed exactly like the
+// two-phase shuffle: (u32 global, u32 len, payload)* with the group's
+// arrays interleaved element-major inside the payload. When M ≠ N or the
+// layouts differ, the frames ARE the redistribution — every element flows
+// straight from its producer to the rank that owns it under the consumer
+// distribution, and Read places it by local index.
+//
+// # Flow control
+//
+// Data frames ride Endpoint.Send, so bulk frames inherit the rendezvous
+// backpressure of the mailbox rings; on top of that a credit window bounds
+// the bytes in flight per (producer, consumer) pair. The consumer
+// acknowledges a record's frames when the next Read retires them (their
+// decoders alias the frame buffers until then); the producer blocks before
+// a send that would exceed Options.ChannelWindow outstanding bytes. A
+// frame larger than the whole window is allowed through alone — the
+// window gates on outstanding > 0, so progress never depends on a credit
+// that can't come.
+var (
+	// ErrEOS reports, from IChannel.Read, that every producer closed the
+	// channel: the stream of records is over. Not sticky — it is the normal
+	// end of a pipeline, not a failure.
+	ErrEOS = errors.New("dstream: end of stream")
+)
+
+// DefaultChannelWindow is the per-consumer credit window (bytes) when
+// Options.ChannelWindow is zero.
+const DefaultChannelWindow = 1 << 20
+
+// chanFlagEOF marks a frame that carries no data: the sending producer has
+// closed its end.
+const chanFlagEOF = 1 << 0
+
+// chanFrameHeaderLen is the fixed frame front matter: flags, nArrays,
+// element count.
+const chanFrameHeaderLen = 12
+
+// chanTags derives the channel's two wire tags from its name, the way
+// streamTag keys a file stream's causal edges: every rank of the machine
+// computes the identical tags with no communication. Data and credit flow
+// on distinct tags so a blocked credit wait never consumes a data frame.
+func chanTags(name string) (data, credit uint64) {
+	return streamTag("dstream.chan.data:" + name), streamTag("dstream.chan.credit:" + name)
+}
+
+// chanMetrics is the dsmon handle set of the channel layer, get-or-create
+// in the run's registry like streamMetrics.
+type chanMetrics struct {
+	frames  *dsmon.Counter
+	bytes   *dsmon.Counter
+	redist  *dsmon.Counter
+	drained *dsmon.Counter
+	credits *dsmon.Gauge
+	// creditStall observes the virtual seconds a producer's Write blocked
+	// waiting for consumer credit; recvStall the virtual seconds a
+	// consumer's Read blocked waiting for producer frames — the two halves
+	// of a pipeline imbalance.
+	creditStall *dsmon.Histogram
+	recvStall   *dsmon.Histogram
+}
+
+func newChanMetrics(m *dsmon.Monitor) *chanMetrics {
+	reg := m.Registry()
+	return &chanMetrics{
+		frames: reg.Counter("dstream_chan_frames_total", "channel data frames sent"),
+		bytes: reg.Counter("dstream_chan_bytes_total",
+			"channel frame bytes sent (header + routed payload)"),
+		redist: reg.Counter("dstream_chan_redistribute_bytes_total",
+			"channel frame bytes that crossed machine ranks"),
+		drained: reg.Counter("dstream_chan_drained_bytes_total",
+			"channel frame bytes an early-closing consumer drained unread"),
+		credits: reg.Gauge("dstream_chan_credits",
+			"channel frame bytes in flight awaiting consumer credit, all channels of this node's run"),
+		creditStall: reg.Histogram("dstream_chan_stall_seconds",
+			"virtual seconds a channel primitive blocked on the other end", dsmon.LatencyBuckets, "phase", "credit"),
+		recvStall: reg.Histogram("dstream_chan_stall_seconds",
+			"virtual seconds a channel primitive blocked on the other end", dsmon.LatencyBuckets, "phase", "recv"),
+	}
+}
+
+// chanCheck validates the pair of layouts against the machine. mine is the
+// calling end's distribution, peer the other end's.
+func chanCheck(node *machine.Node, mine, peer *distr.Distribution) error {
+	if mine.N != peer.N {
+		return fmt.Errorf("dstream: channel ends disagree on element count: %d vs %d", mine.N, peer.N)
+	}
+	if mine.NProcs > node.Size() || peer.NProcs > node.Size() {
+		return fmt.Errorf("dstream: channel groups (%d and %d ranks) exceed the %d-node machine",
+			mine.NProcs, peer.NProcs, node.Size())
+	}
+	return nil
+}
+
+// chanDest is one consumer a producer sends frames to.
+type chanDest struct {
+	cons  int // consumer group rank
+	rank  int // machine rank
+	count int // elements routed there per record (0 = pacing-marker destination)
+	frame enc.Buffer
+	// outstanding is the frame bytes sent and not yet credited back — the
+	// producer side of the credit window.
+	outstanding int64
+}
+
+// chanSrc is one producer a consumer receives frames from.
+type chanSrc struct {
+	prod  int // producer group rank
+	rank  int // machine rank
+	count int // elements expected per record
+}
+
+// OChannel is the producer end of a stream-to-stream channel: an OStream
+// whose records leave over the interconnect instead of landing in a file.
+// Insert fills the interleave group exactly as on a file stream; Write
+// routes it to the consumers as one frame per destination.
+type OChannel struct {
+	stream
+	opts    Options
+	peer    *distr.Distribution // consumer layout
+	grpRank int                 // rank within the producer group
+	window  int64
+	dataTag uint64
+	credTag uint64
+
+	open    bool
+	eofSent bool
+
+	group      [][][]byte
+	groupBytes int64
+	wrote      int
+
+	dests    []chanDest
+	elemDest []int // local element → index into dests
+
+	encScratch  Encoder
+	arrFree     [][][]byte
+	insertSpans []trace.SpanID
+	cmet        *chanMetrics
+}
+
+// OpenChannel opens the producer end of the channel called name. d is the
+// producer group's layout (its NProcs is M, the producer count), peer the
+// consumer group's layout (NProcs = N). The caller must be one of machine
+// ranks [0, M); every producer and every consumer of the machine must make
+// its matching open call, though — unlike the file opens — no
+// communication happens until the first Write.
+func OpenChannel(node *machine.Node, d, peer *distr.Distribution, name string, opts ...Option) (*OChannel, error) {
+	o := buildOptions(opts)
+	if err := o.validateFor(dirChanSend); err != nil {
+		return nil, err
+	}
+	if err := chanCheck(node, d, peer); err != nil {
+		return nil, err
+	}
+	if node.Rank() >= d.NProcs {
+		return nil, fmt.Errorf("dstream: rank %d outside the channel's producer group [0,%d)",
+			node.Rank(), d.NProcs)
+	}
+	s := &OChannel{
+		stream:  stream{node: node, dist: d, name: name, met: newStreamMetrics(node.Monitor()), tag: streamTag(name)},
+		opts:    o,
+		peer:    peer,
+		grpRank: node.Rank(),
+		window:  int64(o.ChannelWindow),
+		cmet:    newChanMetrics(node.Monitor()),
+		open:    true,
+	}
+	if s.window <= 0 {
+		s.window = DefaultChannelWindow
+	}
+	s.dataTag, s.credTag = chanTags(name)
+	s.buildRouting()
+	return s, nil
+}
+
+// buildRouting derives the static frame plan: which consumers this
+// producer sends to, how many elements each frame carries, and which
+// destination each local element belongs to. Producer group rank 0
+// additionally adopts every consumer that owns no elements, sending it
+// empty pacing frames so its Read keeps record cadence and its EOF
+// arrives.
+func (s *OChannel) buildRouting() {
+	consBase := s.node.Size() - s.peer.NProcs
+	nLocal := s.dist.LocalCount(s.grpRank)
+	s.elemDest = make([]int, nLocal)
+	idx := make([]int, s.peer.NProcs)
+	for c := range idx {
+		idx[c] = -1
+	}
+	for l := 0; l < nLocal; l++ {
+		g := s.dist.GlobalIndex(s.grpRank, l)
+		c := s.peer.Owner(g)
+		if idx[c] < 0 {
+			idx[c] = len(s.dests)
+			s.dests = append(s.dests, chanDest{cons: c, rank: consBase + c})
+		}
+		s.dests[idx[c]].count++
+		s.elemDest[l] = idx[c]
+	}
+	if s.grpRank == 0 {
+		for c := 0; c < s.peer.NProcs; c++ {
+			if s.peer.LocalCount(c) == 0 {
+				s.dests = append(s.dests, chanDest{cons: c, rank: consBase + c})
+			}
+		}
+	}
+}
+
+// checkOpen shadows the embedded stream's file-based check: a channel has
+// no file, it has an open flag.
+func (s *OChannel) checkOpen() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.open {
+		return ErrClosed
+	}
+	return nil
+}
+
+// LocalLen returns the number of elements this producer contributes per
+// insert — its share of the producer distribution.
+func (s *OChannel) LocalLen() int { return s.dist.LocalCount(s.grpRank) }
+
+// Pending returns the number of inserts in the current interleave group.
+func (s *OChannel) Pending() int { return len(s.group) }
+
+// Records returns the number of records written so far.
+func (s *OChannel) Records() int { return s.wrote }
+
+// Node returns the owning node.
+func (s *OChannel) Node() *machine.Node { return s.node }
+
+// Dist returns the producer group's distribution.
+func (s *OChannel) Dist() *distr.Distribution { return s.dist }
+
+// InsertFunc is the channel's low-level insert primitive, identical in
+// contract to OStream.InsertFunc: fill is called once per locally owned
+// element, in local order, appending that element's payload to the
+// encoder.
+func (s *OChannel) InsertFunc(fill func(local int, e *Encoder)) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	start := s.node.Clock().Now()
+	n := s.LocalLen()
+	var arr [][]byte
+	if f := len(s.arrFree); f > 0 && cap(s.arrFree[f-1]) >= n {
+		arr = s.arrFree[f-1][:n]
+		s.arrFree = s.arrFree[:f-1]
+	} else {
+		arr = make([][]byte, n)
+	}
+	e := &s.encScratch
+	var arrBytes int64
+	for l := 0; l < n; l++ {
+		e.Reset()
+		fill(l, e)
+		p := bufpool.Get(e.Len())
+		copy(p, e.Bytes())
+		arr[l] = p
+		arrBytes += int64(len(p))
+	}
+	s.group = append(s.group, arr)
+	s.groupBytes += arrBytes
+	s.met.inserts.Inc()
+	s.met.fill.Add(float64(arrBytes))
+	s.node.Compute(float64(n) * s.node.Profile().PerElemCost)
+	if rec := s.met.mon.Recorder(); rec != nil {
+		id := rec.AddSpan(s.node.Rank(), "dstream", "ochannel.Insert "+s.name, start, s.node.Clock().Now())
+		s.insertSpans = append(s.insertSpans, id)
+	}
+	return nil
+}
+
+// Write flushes the current interleave group as one record: the group's
+// arrays are interleaved element-major (as on disk, so extractors see the
+// same layout), each element is routed to the consumer that owns it, and
+// one frame per destination goes out over the mailbox rings, gated by the
+// credit window.
+func (s *OChannel) Write() error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if len(s.group) == 0 {
+		return s.fail(fmt.Errorf("%w: write with no pending inserts", ErrOrder))
+	}
+	start := s.node.Clock().Now()
+	rec := s.met.mon.Recorder()
+	var writeSpan trace.SpanID
+	if rec != nil {
+		writeSpan = rec.NewSpanID()
+		for _, id := range s.insertSpans {
+			rec.AddFlow(id, writeSpan, "encode")
+		}
+		s.insertSpans = s.insertSpans[:0]
+	}
+	nArrays := len(s.group)
+	nLocal := s.LocalLen()
+
+	for i := range s.dests {
+		d := &s.dests[i]
+		d.frame.Reset()
+		d.frame.Uint32(0)
+		d.frame.Uint32(uint32(nArrays))
+		d.frame.Uint32(uint32(d.count))
+	}
+	var localBytes int64
+	for l := 0; l < nLocal; l++ {
+		f := &s.dests[s.elemDest[l]].frame
+		var sz int
+		for _, arr := range s.group {
+			sz += len(arr[l])
+		}
+		f.Uint32(uint32(s.dist.GlobalIndex(s.grpRank, l)))
+		f.Uint32(uint32(sz))
+		for _, arr := range s.group {
+			f.Raw(arr[l])
+		}
+		localBytes += int64(sz)
+	}
+	for _, arr := range s.group {
+		for l, p := range arr {
+			bufpool.Put(p)
+			arr[l] = nil
+		}
+		s.arrFree = append(s.arrFree, arr)
+	}
+	s.node.CopyCost(localBytes + int64(8*nLocal))
+	s.group = s.group[:0]
+	s.met.fill.Add(-float64(s.groupBytes))
+	s.groupBytes = 0
+
+	ep := s.node.Comm().Endpoint()
+	seq := uint64(s.wrote) + 1
+	for i := range s.dests {
+		d := &s.dests[i]
+		frameLen := int64(d.frame.Len())
+		if err := s.awaitCredit(d, frameLen); err != nil {
+			return s.fail(fmt.Errorf("%w: channel credit from consumer %d: %w", ErrIO, d.cons, err))
+		}
+		if rec != nil {
+			rec.FlowOut(trace.FlowKey{Kind: "chan", A: s.node.Rank(), B: d.rank, Tag: s.tag, Seq: seq}, writeSpan)
+		}
+		if err := ep.Send(d.rank, s.dataTag, d.frame.Bytes()); err != nil {
+			return s.fail(fmt.Errorf("%w: channel send to consumer %d: %w", ErrIO, d.cons, err))
+		}
+		d.outstanding += frameLen
+		s.cmet.credits.Add(float64(frameLen))
+		s.cmet.frames.Inc()
+		s.cmet.bytes.Add(frameLen)
+		if d.rank != s.node.Rank() {
+			s.cmet.redist.Add(frameLen)
+		}
+	}
+	s.wrote++
+	end := s.node.Clock().Now()
+	s.met.writes.Inc()
+	s.met.flushBytes.Observe(float64(localBytes))
+	s.met.flushStall.Observe(end - start)
+	if rec != nil {
+		rec.AddSpanID(writeSpan, s.node.Rank(), "dstream", "ochannel.Write "+s.name, start, end)
+	}
+	return nil
+}
+
+// awaitCredit blocks until sending frameLen more bytes to d fits the
+// window. A frame with nothing outstanding always passes, so an oversize
+// frame cannot deadlock on a credit that will never come.
+func (s *OChannel) awaitCredit(d *chanDest, frameLen int64) error {
+	if d.outstanding <= 0 || d.outstanding+frameLen <= s.window {
+		return nil
+	}
+	ep := s.node.Comm().Endpoint()
+	start := s.node.Clock().Now()
+	for d.outstanding > 0 && d.outstanding+frameLen > s.window {
+		b, err := ep.Recv(d.rank, s.credTag)
+		if err != nil {
+			return err
+		}
+		var rd enc.Reader
+		rd.Reset(b)
+		v := rd.Uint64()
+		ok := rd.Err() == nil && rd.Remaining() == 0
+		bufpool.Put(b)
+		if !ok {
+			return fmt.Errorf("dstream: malformed credit frame from consumer %d", d.cons)
+		}
+		d.outstanding -= int64(v)
+		s.cmet.credits.Add(-float64(v))
+		if d.outstanding < 0 {
+			return fmt.Errorf("dstream: consumer %d over-credited by %d bytes", d.cons, -d.outstanding)
+		}
+	}
+	end := s.node.Clock().Now()
+	s.cmet.creditStall.Observe(end - start)
+	if rec := s.met.mon.Recorder(); rec != nil && end > start {
+		rec.Add(s.node.Rank(), "dstream", "ochannel.credit-wait "+s.name, start, end)
+	}
+	return nil
+}
+
+// closeSend delivers the end-of-stream marker: one EOF-flagged empty frame
+// to every destination. EOF frames are small, ride the eager path, and are
+// not credit-accounted.
+func (s *OChannel) closeSend() error {
+	if s.eofSent {
+		return nil
+	}
+	s.eofSent = true
+	ep := s.node.Comm().Endpoint()
+	e := &s.encScratch
+	e.Reset()
+	e.Uint32(chanFlagEOF)
+	e.Uint32(0)
+	e.Uint32(0)
+	for i := range s.dests {
+		d := &s.dests[i]
+		if err := ep.Send(d.rank, s.dataTag, e.Bytes()); err != nil {
+			return fmt.Errorf("%w: channel EOF to consumer %d: %w", ErrIO, d.cons, err)
+		}
+	}
+	return nil
+}
+
+// Close sends the end-of-stream marker (once) and releases the producer
+// end. Idempotent and safe to defer, like the file streams' Close; data
+// inserted but never written is surfaced as an order error.
+func (s *OChannel) Close() error {
+	if !s.open {
+		return nil
+	}
+	s.open = false
+	var err error
+	if s.err == nil {
+		if err = s.closeSend(); err != nil {
+			s.fail(err)
+		}
+	}
+	// Settle the in-flight account: credits for the last record arrive at
+	// the consumer's next read or close, but a closed producer no longer
+	// listens for them — the gauge tracks live channels only.
+	for i := range s.dests {
+		d := &s.dests[i]
+		if d.outstanding > 0 {
+			s.cmet.credits.Add(-float64(d.outstanding))
+			d.outstanding = 0
+		}
+	}
+	if len(s.group) > 0 {
+		if err == nil {
+			err = fmt.Errorf("%w: close with %d unwritten inserts", ErrOrder, len(s.group))
+		}
+		for _, arr := range s.group {
+			for _, p := range arr {
+				bufpool.Put(p)
+			}
+		}
+		s.group = nil
+		s.met.fill.Add(-float64(s.groupBytes))
+		s.groupBytes = 0
+	}
+	return err
+}
+
+// IChannel is the consumer end of a stream-to-stream channel: an IStream
+// whose records arrive over the interconnect. Each Read assembles one
+// record from one frame per producer; Extract calls drain it exactly as on
+// a file stream. Read returns ErrEOS once every producer has closed.
+type IChannel struct {
+	stream
+	opts    Options
+	peer    *distr.Distribution // producer layout
+	grpRank int                 // rank within the consumer group
+	dataTag uint64
+	credTag uint64
+
+	open bool
+	eos  bool
+
+	srcs   []chanSrc
+	srcEOF []bool
+	// frames holds the current record's frame buffers (parallel to srcs);
+	// the element decoders alias them, so they are retired — credited back
+	// to their producers and returned to the pool — only when the next
+	// Read, or Close, replaces them.
+	frames [][]byte
+	out    [][]byte // per local element payload, aliasing frames
+
+	nArrays  int
+	haveRec  bool
+	extracts int
+	readRecs int
+
+	elemBufs  []*Decoder
+	credFrame enc.Buffer
+	cmet      *chanMetrics
+}
+
+// OpenChannelInput opens the consumer end of the channel called name. d is
+// the consumer group's layout (its NProcs is N, the consumer count), peer
+// the producer group's layout (NProcs = M). The caller must be one of
+// machine ranks [P−N, P).
+func OpenChannelInput(node *machine.Node, d, peer *distr.Distribution, name string, opts ...Option) (*IChannel, error) {
+	o := buildOptions(opts)
+	if err := o.validateFor(dirChanRecv); err != nil {
+		return nil, err
+	}
+	if err := chanCheck(node, d, peer); err != nil {
+		return nil, err
+	}
+	consBase := node.Size() - d.NProcs
+	if node.Rank() < consBase {
+		return nil, fmt.Errorf("dstream: rank %d outside the channel's consumer group [%d,%d)",
+			node.Rank(), consBase, node.Size())
+	}
+	r := &IChannel{
+		stream:  stream{node: node, dist: d, name: name, met: newStreamMetrics(node.Monitor()), tag: streamTag(name)},
+		opts:    o,
+		peer:    peer,
+		grpRank: node.Rank() - consBase,
+		cmet:    newChanMetrics(node.Monitor()),
+		open:    true,
+	}
+	r.dataTag, r.credTag = chanTags(name)
+	r.buildRouting()
+	return r, nil
+}
+
+// buildRouting derives the consumer's static frame plan: which producers
+// send to this rank and how many elements each delivers per record. A
+// consumer owning no elements still hears from producer group rank 0 (the
+// pacing marker), so its Read keeps cadence and sees EOF.
+func (r *IChannel) buildRouting() {
+	counts := make([]int, r.peer.NProcs)
+	nLocal := r.dist.LocalCount(r.grpRank)
+	for l := 0; l < nLocal; l++ {
+		g := r.dist.GlobalIndex(r.grpRank, l)
+		counts[r.peer.Owner(g)]++
+	}
+	for p, c := range counts {
+		if c > 0 {
+			r.srcs = append(r.srcs, chanSrc{prod: p, rank: p, count: c})
+		}
+	}
+	if len(r.srcs) == 0 {
+		r.srcs = append(r.srcs, chanSrc{prod: 0, rank: 0})
+	}
+	r.srcEOF = make([]bool, len(r.srcs))
+	r.frames = make([][]byte, len(r.srcs))
+	r.out = make([][]byte, nLocal)
+}
+
+// checkOpen shadows the embedded stream's file-based check.
+func (r *IChannel) checkOpen() error {
+	if r.err != nil {
+		return r.err
+	}
+	if !r.open {
+		return ErrClosed
+	}
+	return nil
+}
+
+// LocalLen returns the number of elements this consumer receives per
+// record — its share of the consumer distribution.
+func (r *IChannel) LocalLen() int { return r.dist.LocalCount(r.grpRank) }
+
+// Arrays returns the number of arrays in the current record (0 before the
+// first read).
+func (r *IChannel) Arrays() int {
+	if !r.haveRec {
+		return 0
+	}
+	return r.nArrays
+}
+
+// Extracted returns how many arrays of the current record have been
+// extracted.
+func (r *IChannel) Extracted() int { return r.extracts }
+
+// Records returns the number of records read so far.
+func (r *IChannel) Records() int { return r.readRecs }
+
+// EOF reports whether every producer has closed the channel.
+func (r *IChannel) EOF() bool { return r.eos }
+
+// Node returns the owning node.
+func (r *IChannel) Node() *machine.Node { return r.node }
+
+// Dist returns the consumer group's distribution.
+func (r *IChannel) Dist() *distr.Distribution { return r.dist }
+
+// checkFullyExtracted enforces Strict mode, as on file input streams.
+func (r *IChannel) checkFullyExtracted(op string) error {
+	if !r.opts.Strict || !r.haveRec {
+		return nil
+	}
+	if r.extracts < r.nArrays {
+		return r.fail(fmt.Errorf("%w: %s with %d of %d arrays unextracted (Strict)",
+			ErrOrder, op, r.nArrays-r.extracts, r.nArrays))
+	}
+	return nil
+}
+
+// retire acknowledges and releases the previous record's frames: each goes
+// back to the buffer pool and its byte length flows back to its producer
+// as an 8-byte eager credit frame, reopening that pair's window.
+func (r *IChannel) retire() {
+	ep := r.node.Comm().Endpoint()
+	for i, b := range r.frames {
+		if b == nil {
+			continue
+		}
+		src := &r.srcs[i]
+		r.credFrame.Reset()
+		r.credFrame.Uint64(uint64(len(b)))
+		if err := ep.Send(src.rank, r.credTag, r.credFrame.Bytes()); err != nil {
+			r.fail(fmt.Errorf("%w: channel credit to producer %d: %w", ErrIO, src.prod, err))
+		}
+		bufpool.Put(b)
+		r.frames[i] = nil
+	}
+	for i := range r.out {
+		r.out[i] = nil
+	}
+}
+
+// Read assembles the next record: the previous record's frames are retired
+// (credited and pooled), one frame is received from every producer in the
+// plan, and each element payload is placed — still aliasing its frame
+// buffer, zero copies — at its local index under the consumer
+// distribution. Returns ErrEOS once every producer has closed.
+func (r *IChannel) Read() error {
+	if err := r.checkOpen(); err != nil {
+		return err
+	}
+	if r.eos {
+		return ErrEOS
+	}
+	if err := r.checkFullyExtracted("read"); err != nil {
+		return err
+	}
+	start := r.node.Clock().Now()
+	rec := r.met.mon.Recorder()
+	var readSpan trace.SpanID
+	if rec != nil {
+		readSpan = rec.NewSpanID()
+	}
+	r.retire()
+	if r.err != nil {
+		return r.err
+	}
+	ep := r.node.Comm().Endpoint()
+	seq := uint64(r.readRecs) + 1
+	eofs := 0
+	nArrays := -1
+	var total int64
+	for i := range r.srcs {
+		src := &r.srcs[i]
+		b, err := ep.Recv(src.rank, r.dataTag)
+		if err != nil {
+			return r.fail(fmt.Errorf("%w: channel recv from producer %d: %w", ErrIO, src.prod, err))
+		}
+		r.frames[i] = b
+		var d enc.Reader
+		d.Reset(b)
+		flags := d.Uint32()
+		na := int(d.Uint32())
+		cnt := int(d.Uint32())
+		if d.Err() != nil {
+			return r.fail(fmt.Errorf("%w: channel frame from producer %d: truncated header", ErrIO, src.prod))
+		}
+		if flags&chanFlagEOF != 0 {
+			eofs++
+			continue
+		}
+		if rec != nil {
+			rec.FlowIn(trace.FlowKey{Kind: "chan", A: src.rank, B: r.node.Rank(), Tag: r.tag, Seq: seq}, readSpan)
+		}
+		if cnt != src.count {
+			return r.fail(fmt.Errorf("%w: channel frame from producer %d carries %d elements, plan expects %d",
+				ErrIO, src.prod, cnt, src.count))
+		}
+		if nArrays < 0 {
+			nArrays = na
+		} else if na != nArrays {
+			return r.fail(fmt.Errorf("%w: producers disagree on array count (%d vs %d)", ErrIO, na, nArrays))
+		}
+		for j := 0; j < cnt; j++ {
+			g := int(d.Uint32())
+			sz := int(d.Uint32())
+			p := d.Raw(sz)
+			if d.Err() != nil {
+				return r.fail(fmt.Errorf("%w: channel frame from producer %d: truncated element", ErrIO, src.prod))
+			}
+			if g < 0 || g >= r.dist.N || r.dist.Owner(g) != r.grpRank {
+				return r.fail(fmt.Errorf("%w: element %d misrouted to consumer %d", ErrIO, g, r.grpRank))
+			}
+			li := r.dist.LocalIndex(g)
+			if r.out[li] != nil {
+				return r.fail(fmt.Errorf("%w: element %d delivered twice", ErrIO, g))
+			}
+			r.out[li] = p
+		}
+		if d.Remaining() != 0 {
+			return r.fail(fmt.Errorf("%w: channel frame from producer %d: %d trailing bytes", ErrIO, src.prod, d.Remaining()))
+		}
+		total += int64(len(b))
+	}
+	if eofs > 0 {
+		if eofs != len(r.srcs) {
+			return r.fail(fmt.Errorf("%w: channel EOF and data frames in the same record", ErrIO))
+		}
+		// EOF frames carry no credited bytes; release them directly.
+		for i, b := range r.frames {
+			if b != nil {
+				bufpool.Put(b)
+				r.frames[i] = nil
+			}
+		}
+		r.eos = true
+		r.haveRec = false
+		return ErrEOS
+	}
+	for l, b := range r.out {
+		if b == nil {
+			return r.fail(fmt.Errorf("dstream: local slot %d (global %d) never arrived",
+				l, r.dist.GlobalIndex(r.grpRank, l)))
+		}
+	}
+	if len(r.elemBufs) == len(r.out) {
+		for i, b := range r.out {
+			r.elemBufs[i].Reset(b)
+		}
+	} else {
+		r.elemBufs = make([]*Decoder, len(r.out))
+		for i, b := range r.out {
+			d := new(Decoder)
+			d.Reset(b)
+			r.elemBufs[i] = d
+		}
+	}
+	r.node.CopyCost(total)
+	r.nArrays = nArrays
+	r.haveRec = true
+	r.extracts = 0
+	r.readRecs++
+	end := r.node.Clock().Now()
+	r.met.reads.Inc()
+	r.met.refillBytes.Observe(float64(total))
+	r.met.refillStall.Observe(end - start)
+	r.cmet.recvStall.Observe(end - start)
+	if rec != nil {
+		rec.AddSpanID(readSpan, r.node.Rank(), "dstream", "ichannel.Read "+r.name, start, end)
+	}
+	return nil
+}
+
+// ExtractFunc is the channel's low-level extract primitive, identical in
+// contract to IStream.ExtractFunc.
+func (r *IChannel) ExtractFunc(take func(local int, d *Decoder)) error {
+	if err := r.checkOpen(); err != nil {
+		return err
+	}
+	if !r.haveRec {
+		return r.fail(fmt.Errorf("%w: extract before read", ErrOrder))
+	}
+	if r.extracts >= r.nArrays {
+		return r.fail(fmt.Errorf("%w: record has %d arrays, extract #%d requested",
+			ErrOrder, r.nArrays, r.extracts+1))
+	}
+	for l, d := range r.elemBufs {
+		take(l, d)
+		if err := d.Err(); err != nil {
+			return r.fail(fmt.Errorf("dstream: extract element (local %d): %w", l, err))
+		}
+	}
+	r.extracts++
+	r.met.extracts.Inc()
+	r.node.Compute(float64(len(r.elemBufs)) * r.node.Profile().PerElemCost)
+	return nil
+}
+
+// drain consumes — crediting and discarding — everything the producers
+// still have in flight, through their EOF markers, so an early-closing
+// consumer never leaves a producer blocked on a credit window that would
+// never reopen. The skipped bytes are counted drained. A channel already
+// in its sticky-error state does not drain: the run is aborting, and the
+// machine tears the transport down with it.
+func (r *IChannel) drain() error {
+	r.retire()
+	if r.err != nil || r.eos {
+		return r.err
+	}
+	ep := r.node.Comm().Endpoint()
+	var drained int64
+	done := 0
+	for i := range r.srcs {
+		if r.srcEOF[i] {
+			done++
+		}
+	}
+	for done < len(r.srcs) {
+		for i := range r.srcs {
+			if r.srcEOF[i] {
+				continue
+			}
+			src := &r.srcs[i]
+			b, err := ep.Recv(src.rank, r.dataTag)
+			if err != nil {
+				return r.fail(fmt.Errorf("%w: channel drain from producer %d: %w", ErrIO, src.prod, err))
+			}
+			var d enc.Reader
+			d.Reset(b)
+			flags := d.Uint32()
+			if d.Err() != nil {
+				bufpool.Put(b)
+				return r.fail(fmt.Errorf("%w: channel frame from producer %d: truncated header", ErrIO, src.prod))
+			}
+			if flags&chanFlagEOF != 0 {
+				r.srcEOF[i] = true
+				done++
+				bufpool.Put(b)
+				continue
+			}
+			drained += int64(len(b))
+			r.credFrame.Reset()
+			r.credFrame.Uint64(uint64(len(b)))
+			if err := ep.Send(src.rank, r.credTag, r.credFrame.Bytes()); err != nil {
+				bufpool.Put(b)
+				return r.fail(fmt.Errorf("%w: channel credit to producer %d: %w", ErrIO, src.prod, err))
+			}
+			bufpool.Put(b)
+		}
+	}
+	r.cmet.drained.Add(drained)
+	r.eos = true
+	return nil
+}
+
+// Close drains the channel to end-of-stream (crediting the producers for
+// everything discarded) and releases the consumer end. Idempotent. In
+// Strict mode, closing with a partially extracted record is an error.
+func (r *IChannel) Close() error {
+	if !r.open {
+		return nil
+	}
+	r.open = false
+	var err error
+	if r.opts.Strict && r.haveRec && r.extracts < r.nArrays {
+		err = fmt.Errorf("%w: close with %d of %d arrays unextracted (Strict)",
+			ErrOrder, r.nArrays-r.extracts, r.nArrays)
+	}
+	r.haveRec = false
+	if derr := r.drain(); derr != nil && err == nil {
+		err = derr
+	}
+	r.elemBufs = nil
+	return err
+}

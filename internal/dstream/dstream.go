@@ -142,6 +142,13 @@ type Options struct {
 	// here — see the session package — so embedded and remote streams share
 	// every code path above the pfs.Backend seam.
 	FS *pfs.FileSystem
+	// ChannelWindow is the per-consumer credit window of a stream-to-stream
+	// channel, in bytes: a producer keeps at most this many unacknowledged
+	// frame bytes in flight toward each consumer before blocking for
+	// credit, so a slow consumer backpressures its producers instead of
+	// growing unbounded buffers. Zero means DefaultChannelWindow. Only
+	// OpenChannel/OpenChannelInput accept it.
+	ChannelWindow int
 }
 
 func (o Options) funnelThreshold() int {

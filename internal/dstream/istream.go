@@ -112,7 +112,7 @@ func openInput(node *machine.Node, d *distr.Distribution, name string, opts Opti
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
-	if err := opts.validate(); err != nil {
+	if err := opts.validateFor(dirInput); err != nil {
 		return nil, err
 	}
 	f, err := openFile(node, opts, name, false)

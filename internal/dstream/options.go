@@ -133,6 +133,14 @@ func WithAggregators(k int) Option {
 	return func(o *Options) { o.Aggregators = k }
 }
 
+// WithChannelWindow sets the per-consumer credit window of a
+// stream-to-stream channel in bytes (DefaultChannelWindow otherwise): a
+// producer keeps at most n unacknowledged frame bytes in flight toward
+// each consumer before blocking for credit. Channel opens only.
+func WithChannelWindow(n int) Option {
+	return func(o *Options) { o.ChannelWindow = n }
+}
+
 // WithOptions merges a pre-built Options value, for callers migrating from
 // the struct-literal constructors.
 func WithOptions(opts Options) Option {

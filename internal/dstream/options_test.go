@@ -10,27 +10,62 @@ import (
 	"pcxxstreams/internal/vtime"
 )
 
-// TestOptionValidation: option values Open and OpenInput used to misread
-// silently (a negative threshold fell back to the default, a negative
-// aggregator count to the stripe factor, a negative depth to synchronous
-// reads) now fail at open time with a clear error — on both stream
-// directions — while the zero values and genuine settings still open.
+// TestOptionValidation: option values the open primitives used to misread
+// silently now fail at open time with a clear error, per direction.
+// Negative values (a negative threshold fell back to the default, a
+// negative aggregator count to the stripe factor, a negative depth to
+// synchronous reads) fail everywhere; direction-inapplicable options
+// (read-ahead on an output stream, append or write-behind on an input
+// stream, any file-path setting on a channel) fail on exactly the
+// directions they don't apply to, and still open on the ones they do.
 func TestOptionValidation(t *testing.T) {
+	const inapplicable = "does not apply to"
 	cases := []struct {
-		name    string
-		opts    []Option
-		wantErr string // "" means the open must succeed
+		name string
+		opts []Option
+		// Expected error substring per open primitive; "" means the open
+		// must succeed.
+		wantOut, wantIn, wantCS, wantCR string
 	}{
-		{"defaults", nil, ""},
-		{"zero threshold", []Option{WithFunnelThreshold(0)}, ""},
-		{"positive threshold", []Option{WithFunnelThreshold(512)}, ""},
-		{"positive aggregators", []Option{WithAggregators(2)}, ""},
-		{"positive read-ahead", []Option{WithReadAhead(3)}, ""},
-		{"negative threshold", []Option{WithFunnelThreshold(-1)}, "negative funnel threshold"},
-		{"negative aggregators", []Option{WithAggregators(-2)}, "negative aggregator count"},
-		{"negative read-ahead", []Option{WithReadAhead(-4)}, "negative read-ahead depth"},
+		{"defaults", nil, "", "", "", ""},
+		{"zero threshold", []Option{WithFunnelThreshold(0)}, "", "", "", ""},
+		{"positive threshold", []Option{WithFunnelThreshold(512)}, "", "", inapplicable, inapplicable},
+		{"positive aggregators", []Option{WithAggregators(2)}, "", "", inapplicable, inapplicable},
+		{"explicit strategy", []Option{WithStrategy(StrategyTwoPhase)}, "", "", inapplicable, inapplicable},
+		{"positive read-ahead", []Option{WithReadAhead(3)}, inapplicable, "", inapplicable, inapplicable},
+		{"strict", []Option{WithStrict()}, inapplicable, "", inapplicable, ""},
+		{"append", []Option{WithAppend()}, "", inapplicable, inapplicable, inapplicable},
+		{"async", []Option{WithAsync()}, "", inapplicable, inapplicable, inapplicable},
+		{"channel window", []Option{WithChannelWindow(1 << 16)}, inapplicable, inapplicable, "", ""},
+		{"negative threshold", []Option{WithFunnelThreshold(-1)},
+			"negative funnel threshold", "negative funnel threshold", "negative funnel threshold", "negative funnel threshold"},
+		{"negative aggregators", []Option{WithAggregators(-2)},
+			"negative aggregator count", "negative aggregator count", "negative aggregator count", "negative aggregator count"},
+		{"negative read-ahead", []Option{WithReadAhead(-4)},
+			"negative read-ahead depth", "negative read-ahead depth", "negative read-ahead depth", "negative read-ahead depth"},
+		{"negative window", []Option{WithChannelWindow(-1)},
+			"negative channel window", "negative channel window", "negative channel window", "negative channel window"},
 		{"negative among valid", []Option{WithStrategy(StrategyTwoPhase), WithAggregators(-1), WithReadAhead(2)},
-			"negative aggregator count"},
+			"negative aggregator count", "negative aggregator count", "negative aggregator count", "negative aggregator count"},
+	}
+	check := func(t *testing.T, rank int, prim, name string, got error, want string, closer func() error) {
+		t.Helper()
+		if want == "" {
+			if got != nil {
+				t.Errorf("rank %d: %s(%s) failed: %v", rank, prim, name, got)
+				return
+			}
+			if err := closer(); err != nil {
+				t.Errorf("rank %d: %s(%s) close: %v", rank, prim, name, err)
+			}
+			return
+		}
+		if got == nil || !strings.Contains(got.Error(), want) {
+			t.Errorf("rank %d: %s(%s) = %v, want error containing %q", rank, prim, name, got, want)
+			if got == nil {
+				closer()
+			}
+		}
 	}
 	fs := pfs.NewMemFS(vtime.Challenge())
 	run(t, 2, fs, func(n *machine.Node) error {
@@ -38,7 +73,8 @@ func TestOptionValidation(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		// Seed one valid file so the OpenInput successes have bytes to read.
+		// Seed one valid file so the OpenInput (and append) successes have a
+		// d/stream file to attach to.
 		seed, err := Open(n, d, "opt-valid", WithStrategy(StrategyParallel))
 		if err != nil {
 			return err
@@ -54,40 +90,45 @@ func TestOptionValidation(t *testing.T) {
 		}
 
 		for _, tc := range cases {
-			out, err := Open(n, d, "opt-"+tc.name, tc.opts...)
-			if tc.wantErr == "" {
-				if err != nil {
-					t.Errorf("rank %d: Open(%s) failed: %v", n.Rank(), tc.name, err)
-					continue
-				}
-				if err := out.Close(); err != nil {
-					return err
-				}
-			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
-				t.Errorf("rank %d: Open(%s) = %v, want error containing %q", n.Rank(), tc.name, err, tc.wantErr)
-				if err == nil {
-					out.Close()
-				}
+			outFile := "opt-" + tc.name
+			if tc.wantOut == "" && hasAppend(tc.opts) {
+				outFile = "opt-valid" // append needs an existing d/stream file
 			}
+			out, err := Open(n, d, outFile, tc.opts...)
+			check(t, n.Rank(), "Open", tc.name, err, tc.wantOut, func() error {
+				if out == nil {
+					return nil
+				}
+				return out.Close()
+			})
 
 			in, err := OpenInput(n, d, "opt-valid", tc.opts...)
-			if tc.wantErr == "" {
-				if err != nil {
-					t.Errorf("rank %d: OpenInput(%s) failed: %v", n.Rank(), tc.name, err)
-					continue
+			check(t, n.Rank(), "OpenInput", tc.name, err, tc.wantIn, func() error {
+				if in == nil {
+					return nil
 				}
-				if err := in.Close(); err != nil {
-					return err
-				}
-			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
-				t.Errorf("rank %d: OpenInput(%s) = %v, want error containing %q", n.Rank(), tc.name, err, tc.wantErr)
-				if err == nil {
-					in.Close()
-				}
-			}
+				return in.Close()
+			})
+
+			// Channel opens are local (no communication, no storage): both
+			// groups span the whole 2-rank machine, so every rank may try
+			// both ends. The ends are dropped unclosed — an unused channel
+			// holds no pooled buffers and owes no EOF.
+			_, err = OpenChannel(n, d, d, "opt-chan-"+tc.name, tc.opts...)
+			check(t, n.Rank(), "OpenChannel", tc.name, err, tc.wantCS, func() error { return nil })
+			_, err = OpenChannelInput(n, d, d, "opt-chan-"+tc.name, tc.opts...)
+			check(t, n.Rank(), "OpenChannelInput", tc.name, err, tc.wantCR, func() error { return nil })
 		}
 		return nil
 	})
+}
+
+func hasAppend(opts []Option) bool {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o.Append
 }
 
 // TestPlannerEnabledGate pins which configurations hand the strategy choice

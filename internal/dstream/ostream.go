@@ -70,7 +70,7 @@ func openOutput(node *machine.Node, d *distr.Distribution, name string, opts Opt
 	if d.NProcs != node.Size() {
 		return nil, fmt.Errorf("dstream: distribution over %d procs on a %d-node machine", d.NProcs, node.Size())
 	}
-	if err := opts.validate(); err != nil {
+	if err := opts.validateFor(dirOutput); err != nil {
 		return nil, err
 	}
 	f, err := openFile(node, opts, name, !opts.Append)

@@ -32,11 +32,39 @@ func (o Options) plannerEnabled() bool {
 	return o.Strategy == StrategyAuto && o.Meta == MetaAuto && o.FunnelThreshold == 0
 }
 
-// validate rejects option values Open/OpenInput would otherwise misread
-// silently (a negative threshold used to fall back to the default, a
+// streamDir names the open primitive an Options value is validated for, so
+// direction-inapplicable settings fail loudly instead of passing silently.
+type streamDir uint8
+
+const (
+	dirOutput streamDir = iota
+	dirInput
+	dirChanSend
+	dirChanRecv
+)
+
+func (d streamDir) String() string {
+	switch d {
+	case dirOutput:
+		return "Open"
+	case dirInput:
+		return "OpenInput"
+	case dirChanSend:
+		return "OpenChannel"
+	case dirChanRecv:
+		return "OpenChannelInput"
+	}
+	return fmt.Sprintf("streamDir(%d)", uint8(d))
+}
+
+// validateFor rejects option values the named open primitive would
+// otherwise misread silently: negative values indistinguishable from the
+// zero value (a negative threshold used to fall back to the default, a
 // negative aggregator count to the stripe factor, a negative read-ahead to
-// synchronous reads — all indistinguishable from the zero value).
-func (o Options) validate() error {
+// synchronous reads), and options that belong to the other direction
+// entirely (read-ahead on an output stream, append or write-behind on an
+// input stream, any file-path setting on an interconnect-only channel).
+func (o Options) validateFor(dir streamDir) error {
 	if o.FunnelThreshold < 0 {
 		return fmt.Errorf("dstream: negative funnel threshold %d", o.FunnelThreshold)
 	}
@@ -45,6 +73,64 @@ func (o Options) validate() error {
 	}
 	if o.ReadAhead < 0 {
 		return fmt.Errorf("dstream: negative read-ahead depth %d", o.ReadAhead)
+	}
+	if o.ChannelWindow < 0 {
+		return fmt.Errorf("dstream: negative channel window %d", o.ChannelWindow)
+	}
+	reject := func(opt string) error {
+		return fmt.Errorf("dstream: option %s does not apply to %s", opt, dir)
+	}
+	switch dir {
+	case dirOutput:
+		if o.ReadAhead > 0 {
+			return reject("WithReadAhead")
+		}
+		if o.Strict {
+			return reject("WithStrict")
+		}
+		if o.ChannelWindow > 0 {
+			return reject("WithChannelWindow")
+		}
+	case dirInput:
+		if o.Append {
+			return reject("WithAppend")
+		}
+		if o.Async {
+			return reject("WithAsync")
+		}
+		if o.ChannelWindow > 0 {
+			return reject("WithChannelWindow")
+		}
+	case dirChanSend, dirChanRecv:
+		// Channels live on the interconnect: no file, no collective data
+		// path, no prefetch pipeline, no storage override.
+		if o.Append {
+			return reject("WithAppend")
+		}
+		if o.Async {
+			return reject("WithAsync")
+		}
+		if o.ReadAhead > 0 {
+			return reject("WithReadAhead")
+		}
+		if o.Strategy != StrategyAuto {
+			return reject("WithStrategy")
+		}
+		if o.Aggregators > 0 {
+			return reject("WithAggregators")
+		}
+		if o.FunnelThreshold > 0 {
+			return reject("WithFunnelThreshold")
+		}
+		if o.Meta != MetaAuto {
+			return reject("a MetaPolicy")
+		}
+		if o.FS != nil {
+			return reject("WithFileSystem")
+		}
+		if dir == dirChanSend && o.Strict {
+			return reject("WithStrict")
+		}
 	}
 	return nil
 }

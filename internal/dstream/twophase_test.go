@@ -242,7 +242,7 @@ func TestTwoPhaseFlatBackend(t *testing.T) {
 func TestOpenMatchesLegacyConstructors(t *testing.T) {
 	fs1 := pfs.NewMemFS(vtime.Challenge())
 	fs2 := pfs.NewMemFS(vtime.Challenge())
-	legacy := Options{Meta: MetaParallel, Async: true, Strict: true, FunnelThreshold: 9}
+	legacy := Options{Meta: MetaParallel, Async: true, FunnelThreshold: 9}
 	run(t, 4, fs1, func(n *machine.Node) error {
 		d := mustDist(t, 23, 4, distr.Block, 0)
 		return writePlists(n, d, "f", legacy)

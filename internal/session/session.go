@@ -171,6 +171,19 @@ func (s *Session) OpenInput(node *machine.Node, d *distr.Distribution, name stri
 	return dstream.OpenInput(node, d, name, s.withFS(node, opts)...)
 }
 
+// OpenChannel opens the sending end of a stream-to-stream channel. Channels
+// move records over the interconnect and never touch storage, so embedded
+// and daemon-backed sessions behave identically — no file-system option is
+// injected (a channel open would reject one).
+func (s *Session) OpenChannel(node *machine.Node, mine, peer *distr.Distribution, name string, opts ...dstream.Option) (*dstream.OChannel, error) {
+	return dstream.OpenChannel(node, mine, peer, name, opts...)
+}
+
+// OpenChannelInput opens the receiving end of a stream-to-stream channel.
+func (s *Session) OpenChannelInput(node *machine.Node, mine, peer *distr.Distribution, name string, opts ...dstream.Option) (*dstream.IChannel, error) {
+	return dstream.OpenChannelInput(node, mine, peer, name, opts...)
+}
+
 // withFS appends the session's file-system option after the caller's, so it
 // wins over a stray WithOptions carrying a stale FS. When the machine is
 // already running on the session's file system (Session.Run), the option is

@@ -228,7 +228,18 @@ type (
 	//
 	// Deprecated: use Strategy (WithStrategy) instead.
 	MetaPolicy = dstream.MetaPolicy
+	// OChannel is the sending end of a stream-to-stream channel (declare
+	// with OpenChannel): the d/stream record model over the interconnect,
+	// skipping the file system.
+	OChannel = dstream.OChannel
+	// IChannel is the receiving end of a stream-to-stream channel (declare
+	// with OpenChannelInput).
+	IChannel = dstream.IChannel
 )
+
+// DefaultChannelWindow is the per-consumer credit window a channel uses
+// when WithChannelWindow is not given.
+const DefaultChannelWindow = dstream.DefaultChannelWindow
 
 // Stream strategies.
 const (
@@ -268,6 +279,37 @@ func OpenInput(n *Node, d *Distribution, name string, opts ...StreamOption) (*IS
 	return session.Default().OpenInput(n, d, name, opts...)
 }
 
+// OpenChannel opens the sending end of a stream-to-stream channel named
+// name: a persistent pipeline that attaches the M producer ranks owning
+// mine (machine ranks 0..M-1) to the N consumer ranks owning peer (the top
+// N machine ranks), redistributing records on the fly when the two
+// distributions differ. Channels move bytes over the interconnect and never
+// touch the file system; records are written with the same inserter
+// machinery as an OStream and paced by credit-based flow control.
+func OpenChannel(n *Node, mine, peer *Distribution, name string, opts ...StreamOption) (*OChannel, error) {
+	return session.Default().OpenChannel(n, mine, peer, name, opts...)
+}
+
+// OpenChannelInput opens the receiving end of a stream-to-stream channel,
+// the consumer-side counterpart of OpenChannel: mine is the consumer
+// group's distribution, peer the producers'.
+func OpenChannelInput(n *Node, mine, peer *Distribution, name string, opts ...StreamOption) (*IChannel, error) {
+	return session.Default().OpenChannelInput(n, mine, peer, name, opts...)
+}
+
+// InsertElems inserts one array of elements into a channel from a plain
+// local slice (channels take slices rather than Collections because a
+// channel group spans only part of the machine).
+func InsertElems[T any, PT dstream.InserterPtr[T]](s *OChannel, local []T) error {
+	return dstream.InsertElems[T, PT](s, local)
+}
+
+// ExtractElems extracts one array of elements from a channel into a plain
+// local slice, the inverse of InsertElems.
+func ExtractElems[T any, PT dstream.ExtractorPtr[T]](r *IChannel, local []T) error {
+	return dstream.ExtractElems[T, PT](r, local)
+}
+
 // Stream constructors and sentinel errors.
 var (
 	// ParseStrategy maps a flag value to a Strategy.
@@ -289,6 +331,9 @@ var (
 	// records' refills are issued in the background and Read stalls only
 	// for the un-overlapped remainder of each transfer.
 	WithReadAhead = dstream.WithReadAhead
+	// WithChannelWindow sets a channel's per-consumer credit window in
+	// bytes (how far a producer may run ahead of each consumer).
+	WithChannelWindow = dstream.WithChannelWindow
 	// WithStreamOptions merges a pre-built StreamOptions value.
 	WithStreamOptions = dstream.WithOptions
 	// WithFileSystem opens the stream's file on an explicit file system
@@ -303,6 +348,9 @@ var (
 	ErrOrder = dstream.ErrOrder
 	// ErrIO wraps a flush or refill that failed in the layers below.
 	ErrIO = dstream.ErrIO
+	// ErrEOS reports end of stream on a channel's receiving end: every
+	// producer closed and all records have been read. Not sticky.
+	ErrEOS = dstream.ErrEOS
 )
 
 // --- Parallel file system (the simulated Paragon PFS) ---
